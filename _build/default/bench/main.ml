@@ -1,0 +1,233 @@
+(* Benchmark harness.
+
+   Default mode regenerates every table and figure from the paper's
+   evaluation section (the rows/series the paper reports):
+
+     dune exec bench/main.exe              all artifacts
+     dune exec bench/main.exe table2       one artifact
+       (table2 | fig5a | fig5b | fig5c | table3 | table4)
+
+   Additional modes:
+
+     dune exec bench/main.exe micro        Bechamel micro-benchmarks of
+                                           the simulator/compiler machinery
+                                           (one Test.make per experiment)
+     dune exec bench/main.exe ablation     design-choice ablations from
+                                           DESIGN.md (issue width, unroll,
+                                           miss penalty, table size) *)
+
+module Experiments = Elag_harness.Experiments
+module Context = Elag_harness.Context
+module Compile = Elag_harness.Compile
+module Profile = Elag_harness.Profile
+module Config = Elag_sim.Config
+module Pipeline = Elag_sim.Pipeline
+module Emulator = Elag_sim.Emulator
+module Suite = Elag_workloads.Suite
+module Workload = Elag_workloads.Workload
+module Addr_table = Elag_predict.Addr_table
+module Stride_entry = Elag_predict.Stride_entry
+
+(* --- Bechamel micro-benchmarks ----------------------------------------- *)
+
+let micro_workload = lazy (Context.get (Suite.find "PGP Encode"))
+
+let bench_emulator () =
+  let e = Lazy.force micro_workload in
+  ignore (Emulator.run_program e.Context.program)
+
+let bench_pipeline mechanism () =
+  let e = Lazy.force micro_workload in
+  let cfg = Config.with_mechanism mechanism Config.default in
+  ignore (Pipeline.simulate cfg e.Context.program)
+
+let bench_compile () =
+  let w = Suite.find "072.sc" in
+  ignore (Compile.compile w.Workload.source)
+
+let bench_profile () =
+  let e = Lazy.force micro_workload in
+  ignore (Profile.collect e.Context.program)
+
+let bench_table_updates () =
+  let t = Addr_table.create 256 in
+  for pc = 0 to 99 do
+    for i = 0 to 99 do
+      ignore (Addr_table.peek t pc);
+      ignore (Addr_table.update t pc ((pc * 4096) + (i * 8)))
+    done
+  done
+
+let bench_stride_machine () =
+  let e = Stride_entry.allocate 0 in
+  for i = 1 to 10_000 do
+    ignore (Stride_entry.update e (i * 8))
+  done
+
+(* One Test.make per reproduced artifact: measures the cost of
+   regenerating that table/figure's data for a single representative
+   workload, so harness performance regressions are visible. *)
+let micro_tests =
+  let open Bechamel in
+  let dual_cc = Config.Dual { table_entries = 256; selection = Config.Compiler_directed } in
+  Test.make_grouped ~name:"elag"
+    [ Test.make ~name:"table2:profile-pass" (Staged.stage bench_profile)
+    ; Test.make ~name:"fig5a:table-only-sim"
+        (Staged.stage
+           (bench_pipeline (Config.Table_only { entries = 256; compiler_filtered = true })))
+    ; Test.make ~name:"fig5b:calc-only-sim"
+        (Staged.stage (bench_pipeline (Config.Calc_only { bric_entries = 16 })))
+    ; Test.make ~name:"fig5c:dual-path-sim" (Staged.stage (bench_pipeline dual_cc))
+    ; Test.make ~name:"table3:baseline-sim" (Staged.stage (bench_pipeline Config.No_early))
+    ; Test.make ~name:"table4:emulation" (Staged.stage bench_emulator)
+    ; Test.make ~name:"compiler:full-pipeline" (Staged.stage bench_compile)
+    ; Test.make ~name:"predict:table-churn" (Staged.stage bench_table_updates)
+    ; Test.make ~name:"predict:stride-machine" (Staged.stage bench_stride_machine) ]
+
+let run_micro () =
+  let open Bechamel in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg [ instance ] micro_tests in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "%-34s %16s\n" "benchmark" "time/run";
+  let rows = ref [] in
+  Hashtbl.iter (fun name r -> rows := (name, r) :: !rows) results;
+  List.iter
+    (fun (name, r) ->
+      match Analyze.OLS.estimates r with
+      | Some [ t ] ->
+        let pretty =
+          if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+          else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+          else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+          else Printf.sprintf "%.0f ns" t
+        in
+        Printf.printf "%-34s %16s\n" name pretty
+      | _ -> Printf.printf "%-34s %16s\n" name "-")
+    (List.sort compare !rows)
+
+(* --- ablations ----------------------------------------------------------- *)
+
+let ablation_panel = [ "130.li"; "072.sc"; "023.eqntott" ]
+
+let dual_cc = Config.Dual { table_entries = 256; selection = Config.Compiler_directed }
+
+let speedup_with cfg program =
+  let base = Config.with_mechanism Config.No_early cfg in
+  let dual = Config.with_mechanism dual_cc cfg in
+  let b, _ = Pipeline.simulate base program in
+  let d, _ = Pipeline.simulate dual program in
+  float_of_int b.Pipeline.cycles /. float_of_int d.Pipeline.cycles
+
+let run_ablation () =
+  Printf.printf "Ablations: dual-path compiler-directed speedup vs design choices\n\n";
+  let programs =
+    List.map (fun n -> (n, (Context.get (Suite.find n)).Context.program)) ablation_panel
+  in
+  (* Oracle bound: if every load had zero latency and never missed, how
+     fast could ANY early address-generation scheme possibly be?  The
+     gap between dual-cc and this bound is the paper's headroom. *)
+  Printf.printf "speedup ceiling (zero-latency, never-missing loads)\n ";
+  List.iter
+    (fun (n, p) ->
+      let base = Config.with_mechanism Config.No_early Config.default in
+      let oracle =
+        Config.with_mechanism Config.No_early
+          { Config.default with load_latency = 0; miss_penalty = 0 }
+      in
+      let b, _ = Pipeline.simulate base p in
+      let o, _ = Pipeline.simulate oracle p in
+      Printf.printf "  %s %.3f" n
+        (float_of_int b.Pipeline.cycles /. float_of_int o.Pipeline.cycles))
+    programs;
+  Printf.printf "\n\n";
+  Printf.printf "issue width (paper: 6)\n";
+  List.iter
+    (fun width ->
+      Printf.printf "  width %d:" width;
+      List.iter
+        (fun (n, p) ->
+          Printf.printf "  %s %.3f" n
+            (speedup_with { Config.default with issue_width = width } p))
+        programs;
+      print_newline ())
+    [ 2; 4; 6; 8 ];
+  Printf.printf "\ncache associativity (paper: direct-mapped)\n";
+  List.iter
+    (fun ways ->
+      Printf.printf "  %d-way:" ways;
+      List.iter
+        (fun (n, p) ->
+          Printf.printf "  %s %.3f" n
+            (speedup_with { Config.default with cache_ways = ways } p))
+        programs;
+      print_newline ())
+    [ 1; 2; 4 ];
+  Printf.printf "\ncache miss penalty (paper: 12 cycles)\n";
+  List.iter
+    (fun pen ->
+      Printf.printf "  penalty %2d:" pen;
+      List.iter
+        (fun (n, p) ->
+          Printf.printf "  %s %.3f" n
+            (speedup_with { Config.default with miss_penalty = pen } p))
+        programs;
+      print_newline ())
+    [ 4; 12; 30 ];
+  Printf.printf "\nunroll factor at compile time (default: 4)\n";
+  List.iter
+    (fun factor ->
+      Printf.printf "  unroll %d:" factor;
+      List.iter
+        (fun name ->
+          let w = Suite.find name in
+          let ir =
+            Elag_ir.Lower.lower_program
+              (Elag_minic.Sema.check (Elag_minic.Parser.parse w.Workload.source))
+          in
+          ignore (Elag_opt.Driver.optimize ~unroll_factor:factor ir);
+          Elag_core.Classify.run ir;
+          let program = Elag_codegen.Codegen.generate ir in
+          Printf.printf "  %s %.3f" name (speedup_with Config.default program))
+        ablation_panel;
+      print_newline ())
+    [ 0; 4; 8 ];
+  Printf.printf "\ntable size under the dual-path scheme\n";
+  List.iter
+    (fun entries ->
+      Printf.printf "  table %4d:" entries;
+      List.iter
+        (fun (n, p) ->
+          let dual =
+            Config.with_mechanism
+              (Config.Dual { table_entries = entries; selection = Config.Compiler_directed })
+              Config.default
+          in
+          let base = Config.with_mechanism Config.No_early Config.default in
+          let b, _ = Pipeline.simulate base p in
+          let d, _ = Pipeline.simulate dual p in
+          Printf.printf "  %s %.3f" n
+            (float_of_int b.Pipeline.cycles /. float_of_int d.Pipeline.cycles))
+        programs;
+      print_newline ())
+    [ 16; 64; 256; 1024 ]
+
+(* --- entry point ----------------------------------------------------------- *)
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "table2" -> Experiments.print_table2 ()
+  | "fig5a" -> Experiments.print_fig5a ()
+  | "fig5b" -> Experiments.print_fig5b ()
+  | "fig5c" -> Experiments.print_fig5c ()
+  | "table3" -> Experiments.print_table3 ()
+  | "table4" -> Experiments.print_table4 ()
+  | "all" -> Experiments.run_all ()
+  | "micro" -> run_micro ()
+  | "ablation" -> run_ablation ()
+  | other ->
+    prerr_endline ("unknown mode: " ^ other);
+    prerr_endline "modes: all table2 fig5a fig5b fig5c table3 table4 micro ablation";
+    exit 1

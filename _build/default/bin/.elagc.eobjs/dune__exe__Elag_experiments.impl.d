@@ -1,0 +1,1 @@
+bin/elag_experiments.ml: Array Elag_harness Sys

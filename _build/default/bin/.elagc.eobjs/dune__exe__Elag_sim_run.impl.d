@@ -1,0 +1,1 @@
+bin/elag_sim_run.ml: Elag_harness Elag_sim Elag_workloads List Printf String Sys Unix

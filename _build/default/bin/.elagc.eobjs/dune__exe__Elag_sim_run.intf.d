@@ -1,0 +1,1 @@
+bin/elag_sim_run.mli:

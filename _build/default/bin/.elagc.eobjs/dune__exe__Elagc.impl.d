@@ -1,0 +1,1 @@
+bin/elagc.ml: Array Elag_harness Elag_ir Elag_isa Elag_opt Elag_sim Elag_workloads Fmt List String Sys

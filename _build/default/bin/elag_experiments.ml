@@ -1,0 +1,16 @@
+(* Regenerate every table and figure from the paper's evaluation
+   section.  With an argument, run only that artifact:
+     table2 | fig5a | fig5b | fig5c | table3 | table4 | all *)
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "table2" -> Elag_harness.Experiments.print_table2 ()
+  | "fig5a" -> Elag_harness.Experiments.print_fig5a ()
+  | "fig5b" -> Elag_harness.Experiments.print_fig5b ()
+  | "fig5c" -> Elag_harness.Experiments.print_fig5c ()
+  | "table3" -> Elag_harness.Experiments.print_table3 ()
+  | "table4" -> Elag_harness.Experiments.print_table4 ()
+  | "all" -> Elag_harness.Experiments.run_all ()
+  | other ->
+    prerr_endline ("unknown artifact: " ^ other);
+    exit 1

@@ -1,0 +1,71 @@
+(* Run one workload (or all) under the emulator and, optionally, a
+   timing configuration.  Usage:
+     elag_sim_run                      — emulate every workload, print stats
+     elag_sim_run <name>              — emulate one workload
+     elag_sim_run <name> <mechanism>  — time it (mechanisms: baseline,
+                                         table-N, calc-N, dual-hw, dual-cc) *)
+
+module Compile = Elag_harness.Compile
+module Pipeline = Elag_sim.Pipeline
+module Config = Elag_sim.Config
+module Emulator = Elag_sim.Emulator
+module Workload = Elag_workloads.Workload
+module Suite = Elag_workloads.Suite
+
+let mechanism_of_string s =
+  let int_suffix prefix =
+    let n = String.length prefix in
+    if String.length s > n && String.sub s 0 n = prefix then
+      int_of_string_opt (String.sub s n (String.length s - n))
+    else None
+  in
+  match s with
+  | "baseline" -> Config.No_early
+  | "dual-hw" -> Config.Dual { table_entries = 256; selection = Config.Hardware_selected }
+  | "dual-cc" -> Config.Dual { table_entries = 256; selection = Config.Compiler_directed }
+  | _ -> (
+    match int_suffix "table-" with
+    | Some n -> Config.Table_only { entries = n; compiler_filtered = false }
+    | None -> (
+      match int_suffix "calc-" with
+      | Some n -> Config.Calc_only { bric_entries = n }
+      | None -> failwith ("unknown mechanism " ^ s)))
+
+let emulate_one (w : Workload.t) =
+  let t0 = Unix.gettimeofday () in
+  let program = Compile.compile w.Workload.source in
+  let t1 = Unix.gettimeofday () in
+  let emu = Emulator.run_program program in
+  let t2 = Unix.gettimeofday () in
+  Printf.printf "%-16s  insns=%9d  compile=%.2fs run=%.2fs  output=%s\n%!"
+    w.Workload.name (Emulator.retired emu) (t1 -. t0) (t2 -. t1)
+    (String.concat "," (String.split_on_char '\n' (String.trim (Emulator.output emu))))
+
+let time_one (w : Workload.t) mech =
+  let program = Compile.compile w.Workload.source in
+  let cfg = Config.with_mechanism mech Config.default in
+  let stats, output = Pipeline.simulate cfg program in
+  Printf.printf "%s under %s:\n" w.Workload.name (Config.mechanism_name mech);
+  Printf.printf "  cycles=%d insns=%d IPC=%.2f\n" stats.Pipeline.cycles
+    stats.Pipeline.instructions
+    (float_of_int stats.Pipeline.instructions /. float_of_int stats.Pipeline.cycles);
+  Printf.printf "  loads=%d (n=%d p=%d e=%d) stores=%d\n" stats.Pipeline.loads
+    stats.Pipeline.loads_n stats.Pipeline.loads_p stats.Pipeline.loads_e
+    stats.Pipeline.stores;
+  Printf.printf "  spec: table %d/%d calc %d/%d wasted=%d\n"
+    stats.Pipeline.table_successes stats.Pipeline.table_attempts
+    stats.Pipeline.calc_successes stats.Pipeline.calc_attempts
+    stats.Pipeline.wasted_spec;
+  Printf.printf "  avg load latency=%.2f dmiss=%d imiss=%d btb_miss=%d\n"
+    (float_of_int stats.Pipeline.load_latency_sum /. float_of_int (max 1 stats.Pipeline.loads))
+    stats.Pipeline.dcache_misses stats.Pipeline.icache_misses
+    stats.Pipeline.btb_mispredicts;
+  Printf.printf "  output=%s\n"
+    (String.concat "," (String.split_on_char '\n' (String.trim output)))
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> List.iter emulate_one Suite.all
+  | [| _; name |] -> emulate_one (Suite.find name)
+  | [| _; name; mech |] -> time_one (Suite.find name) (mechanism_of_string mech)
+  | _ -> prerr_endline "usage: elag_sim_run [workload [mechanism]]"

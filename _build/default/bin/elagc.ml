@@ -1,0 +1,146 @@
+(* elagc — the MiniC -> EPA-32 compiler driver.
+
+   Compiles a MiniC source file with the paper's optimization pipeline
+   and load-classification heuristics, then (optionally) prints the IR
+   or assembly, runs the program, or times it under a machine
+   configuration.
+
+     elagc prog.mc                 compile and print classification summary
+     elagc -emit-ir prog.mc        print the optimized IR
+     elagc -emit-asm prog.mc       print the assembled program
+     elagc -run prog.mc            execute and print program output
+     elagc -time dual-cc prog.mc   cycle-accurate timing under a mechanism
+     elagc -O0|-O1|-O2             optimization level (default -O2)
+     elagc -no-classify            leave every load ld_n
+     elagc -profile prog.mc        profile, reclassify, and re-time *)
+
+module Compile = Elag_harness.Compile
+module Profile = Elag_harness.Profile
+module Program = Elag_isa.Program
+module Insn = Elag_isa.Insn
+module Opt = Elag_opt.Driver
+module Config = Elag_sim.Config
+module Pipeline = Elag_sim.Pipeline
+module Emulator = Elag_sim.Emulator
+
+type action = Summarize | Emit_ir | Emit_asm | Run | Time of string | Profile_run
+
+let usage () =
+  prerr_endline
+    "usage: elagc [-O0|-O1|-O2] [-no-classify] \
+     [-emit-ir|-emit-asm|-run|-time MECH|-profile] FILE.mc";
+  prerr_endline
+    "  mechanisms: baseline, table-N, table-N-cc, calc-N, dual-hw, dual-cc";
+  exit 1
+
+let mechanism_of_string s =
+  let starts p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let suffix p = String.sub s (String.length p) (String.length s - String.length p) in
+  match s with
+  | "baseline" -> Config.No_early
+  | "dual-hw" -> Config.Dual { table_entries = 256; selection = Config.Hardware_selected }
+  | "dual-cc" -> Config.Dual { table_entries = 256; selection = Config.Compiler_directed }
+  | _ when starts "table-" ->
+    let rest = suffix "table-" in
+    (match String.split_on_char '-' rest with
+    | [ n ] -> Config.Table_only { entries = int_of_string n; compiler_filtered = false }
+    | [ n; "cc" ] -> Config.Table_only { entries = int_of_string n; compiler_filtered = true }
+    | _ -> usage ())
+  | _ when starts "calc-" -> Config.Calc_only { bric_entries = int_of_string (suffix "calc-") }
+  | _ -> usage ()
+
+let summarize program =
+  let loads = Program.static_loads program in
+  let count spec =
+    List.length (List.filter (fun (_, i) -> Insn.load_spec i = Some spec) loads)
+  in
+  Fmt.pr "%d instructions, %d static loads: %d ld_n, %d ld_p, %d ld_e@."
+    (Program.length program) (List.length loads) (count Insn.Ld_n)
+    (count Insn.Ld_p) (count Insn.Ld_e)
+
+let print_stats (stats : Pipeline.stats) =
+  Fmt.pr "cycles:            %d@." stats.Pipeline.cycles;
+  Fmt.pr "instructions:      %d (IPC %.2f)@." stats.Pipeline.instructions
+    (float_of_int stats.Pipeline.instructions /. float_of_int (max 1 stats.Pipeline.cycles));
+  Fmt.pr "loads:             %d (n=%d p=%d e=%d), avg latency %.2f@."
+    stats.Pipeline.loads stats.Pipeline.loads_n stats.Pipeline.loads_p
+    stats.Pipeline.loads_e
+    (float_of_int stats.Pipeline.load_latency_sum
+    /. float_of_int (max 1 stats.Pipeline.loads));
+  Fmt.pr "speculation:       table %d/%d, calc %d/%d, wasted %d@."
+    stats.Pipeline.table_successes stats.Pipeline.table_attempts
+    stats.Pipeline.calc_successes stats.Pipeline.calc_attempts
+    stats.Pipeline.wasted_spec;
+  Fmt.pr "caches:            %d D-misses, %d I-misses; BTB mispredicts %d@."
+    stats.Pipeline.dcache_misses stats.Pipeline.icache_misses
+    stats.Pipeline.btb_mispredicts
+
+let () =
+  let action = ref Summarize in
+  let level = ref Opt.O2 in
+  let classify = ref true in
+  let file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "-O0" :: rest -> level := Opt.O0; parse rest
+    | "-O1" :: rest -> level := Opt.O1; parse rest
+    | "-O2" :: rest -> level := Opt.O2; parse rest
+    | "-no-classify" :: rest -> classify := false; parse rest
+    | "-emit-ir" :: rest -> action := Emit_ir; parse rest
+    | "-emit-asm" :: rest -> action := Emit_asm; parse rest
+    | "-run" :: rest -> action := Run; parse rest
+    | "-time" :: mech :: rest -> action := Time mech; parse rest
+    | "-profile" :: rest -> action := Profile_run; parse rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+      file := Some arg; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let file = match !file with Some f -> f | None -> usage () in
+  let source =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    (* workload runtime (alloc, rand) is always available *)
+    Elag_workloads.Runtime.with_prelude s
+  in
+  let options =
+    { Compile.opt_level = !level
+    ; classification = (if !classify then Compile.Heuristics else Compile.No_classification)
+    ; inline_threshold = Elag_opt.Inline.default_threshold }
+  in
+  try
+    match !action with
+    | Summarize -> summarize (Compile.compile ~options source)
+    | Emit_ir -> Fmt.pr "%a@." Elag_ir.Ir.pp_program (Compile.to_ir ~options source)
+    | Emit_asm -> Fmt.pr "%a@." Program.pp (Compile.compile ~options source)
+    | Run ->
+      let emu = Emulator.run_program (Compile.compile ~options source) in
+      print_string (Emulator.output emu);
+      Fmt.pr "[%d instructions retired]@." (Emulator.retired emu)
+    | Time mech ->
+      let program = Compile.compile ~options source in
+      let cfg = Config.with_mechanism (mechanism_of_string mech) Config.default in
+      let stats, _ = Pipeline.simulate cfg program in
+      print_stats stats
+    | Profile_run ->
+      let program = Compile.compile ~options source in
+      let prof = Profile.collect program in
+      let reclassified = Profile.reclassify prof program in
+      Fmt.pr "before profiling: ";
+      summarize program;
+      Fmt.pr "after profiling:  ";
+      summarize reclassified;
+      let time p mech =
+        let cfg = Config.with_mechanism mech Config.default in
+        (fst (Pipeline.simulate cfg p)).Pipeline.cycles
+      in
+      let dual = Config.Dual { table_entries = 256; selection = Config.Compiler_directed } in
+      let base = time program Config.No_early in
+      Fmt.pr "baseline %d cycles; dual-cc %.3fx; dual-cc+profile %.3fx@." base
+        (float_of_int base /. float_of_int (time program dual))
+        (float_of_int base /. float_of_int (time reclassified dual))
+  with
+  | Compile.Error msg -> prerr_endline ("elagc: " ^ msg); exit 1
+  | Sys_error msg -> prerr_endline ("elagc: " ^ msg); exit 1

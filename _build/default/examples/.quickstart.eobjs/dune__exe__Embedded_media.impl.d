@@ -1,0 +1,1 @@
+examples/embedded_media.ml: Elag_harness Elag_sim Elag_workloads Fmt List Option

@@ -1,0 +1,1 @@
+examples/pipeline_trace.ml: Array Elag_isa Elag_sim Fmt Fun List String

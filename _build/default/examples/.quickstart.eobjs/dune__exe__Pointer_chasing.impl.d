@@ -1,0 +1,1 @@
+examples/pointer_chasing.ml: Elag_harness Elag_isa Elag_sim Elag_workloads Fmt List

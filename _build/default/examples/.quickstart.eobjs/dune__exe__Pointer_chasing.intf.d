@@ -1,0 +1,1 @@
+examples/pointer_chasing.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Elag_harness Elag_isa Elag_sim Elag_workloads Fmt List

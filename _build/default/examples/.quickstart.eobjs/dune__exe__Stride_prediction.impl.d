@@ -1,0 +1,1 @@
+examples/stride_prediction.ml: Elag_harness Elag_predict Elag_sim Elag_workloads Fmt List

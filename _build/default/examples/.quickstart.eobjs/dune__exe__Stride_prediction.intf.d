@@ -1,0 +1,1 @@
+examples/stride_prediction.mli:

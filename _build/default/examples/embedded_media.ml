@@ -1,0 +1,50 @@
+(* Embedded-systems scenario (paper Section 5.4): evaluate the
+   compiler-directed scheme on MediaBench-like kernels, where the
+   instruction-set change is cheap and the hardware budget is tight.
+
+   Compares the paper's recommended small configuration (256-entry
+   table + one R_addr) against larger hardware-only alternatives, per
+   workload.
+
+   Run with:  dune exec examples/embedded_media.exe *)
+
+module Context = Elag_harness.Context
+module Config = Elag_sim.Config
+module Suite = Elag_workloads.Suite
+module Workload = Elag_workloads.Workload
+
+let () =
+  Fmt.pr
+    "MediaBench-like suite: compiler-directed (256-entry table + 1 R_addr)@.\
+     versus a hardware-only table four times larger.@.@.";
+  Fmt.pr "%-14s %10s %12s %12s %10s@." "workload" "dyn loads" "cc-dual-256"
+    "hw-table-1k" "PD rate";
+  let rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let e = Context.get w in
+        let dist = Context.distribution e in
+        let cc =
+          Context.speedup e
+            (Config.Dual { table_entries = 256; selection = Config.Compiler_directed })
+        in
+        let hw_big =
+          Context.speedup e (Config.Table_only { entries = 1024; compiler_filtered = false })
+        in
+        (w.Workload.name, dist, cc, hw_big))
+      Suite.media
+  in
+  List.iter
+    (fun (name, dist, cc, hw_big) ->
+      Fmt.pr "%-14s %10d %12.2f %12.2f %9.1f%%@." name
+        dist.Context.total_dynamic_loads cc hw_big
+        (Option.value dist.Context.rate_pd ~default:0.))
+    rows;
+  let mean f = List.fold_left (fun a r -> a +. f r) 0. rows /. float_of_int (List.length rows) in
+  Fmt.pr "%-14s %10s %12.2f %12.2f@." "average" ""
+    (mean (fun (_, _, cc, _) -> cc))
+    (mean (fun (_, _, _, hw) -> hw));
+  Fmt.pr
+    "@.The compiler-directed configuration reaches hardware-table-class@.\
+     speedups with a quarter of the table and a single addressing@.\
+     register - the embedded-design argument of the paper's Section 5.4.@."

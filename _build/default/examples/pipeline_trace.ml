@@ -1,0 +1,99 @@
+(* Pipeline visualization: renders the paper's Figure 1 scenarios as
+   cycle-by-cycle issue traces, showing the one-cycle load-use stall
+   disappearing under ld_e and halving under ld_p.
+
+   Run with:  dune exec examples/pipeline_trace.exe *)
+
+module Insn = Elag_isa.Insn
+module Layout = Elag_isa.Layout
+module Program = Elag_isa.Program
+module Config = Elag_sim.Config
+module Pipeline = Elag_sim.Pipeline
+module Emulator = Elag_sim.Emulator
+
+(* The Figure 1d while-loop over a scrambled ring: p->f1, p->f2,
+   p = p->next. *)
+let ring_program spec =
+  let nodes = 8 in
+  (* permuted ring so the chain is not stride-predictable *)
+  let order = [| 0; 5; 2; 7; 1; 6; 3; 4 |] in
+  let next_of = Array.make nodes 0 in
+  Array.iteri (fun i n -> next_of.(n) <- order.((i + 1) mod nodes)) order;
+  let node_words i = [ i * 10; i * 10 + 1; Layout.default_base + (12 * next_of.(i)) ] in
+  let layout = Layout.create () in
+  ignore
+    (Layout.add layout ~label:"ring" ~align:4
+       ~init:(Layout.Words (List.concat_map node_words (List.init nodes Fun.id))));
+  let load dst off =
+    Insn.Load
+      { spec; size = Insn.Word; sign = Insn.Signed; dst
+      ; addr = Insn.Base_offset (10, off) }
+  in
+  Program.assemble ~layout
+    [ Program.Label "_start"
+    ; Program.Insn (Insn.Li { dst = 10; imm = Layout.default_base })
+    ; Program.Insn (Insn.Li { dst = 12; imm = 0 })
+    ; Program.Insn (Insn.Li { dst = 13; imm = 0 })
+    ; Program.Label "loop"
+    ; Program.Insn (load 14 0)                                   (* p->f1 *)
+    ; Program.Insn (Insn.Alu { op = Insn.Add; dst = 13; src1 = 13; src2 = Insn.R 14 })
+    ; Program.Insn (load 15 4)                                   (* p->f2 *)
+    ; Program.Insn (Insn.Alu { op = Insn.Add; dst = 13; src1 = 13; src2 = Insn.R 15 })
+    ; Program.Insn (load 10 8)                                   (* p = p->next *)
+    ; Program.Insn (Insn.Alu { op = Insn.Add; dst = 12; src1 = 12; src2 = Insn.I 1 })
+    ; Program.Insn (Insn.Branch { cond = Insn.Lt; src1 = 12; src2 = Insn.I 40; target = "loop" })
+    ; Program.Insn Insn.Halt ]
+
+type event = { pc : int; insn : Insn.t; cycle : int; latency : int }
+
+let trace mechanism program ~skip ~count =
+  let cfg = Config.with_mechanism mechanism Config.default in
+  let t = Pipeline.create cfg in
+  let events = ref [] in
+  Pipeline.set_tracer t (fun pc insn cycle latency ->
+      events := { pc; insn; cycle; latency } :: !events);
+  ignore (Emulator.run_program ~observer:(Pipeline.observer t) program);
+  let all = List.rev !events in
+  (List.filteri (fun i _ -> i >= skip && i < skip + count) all,
+   (Pipeline.stats t).Pipeline.cycles)
+
+let render name events =
+  Fmt.pr "@.%s@." name;
+  match events with
+  | [] -> ()
+  | first :: _ ->
+    let base = first.cycle in
+    List.iter
+      (fun e ->
+        let col = e.cycle - base in
+        Fmt.pr "  cycle %2d %s%-28s" col (String.make (min col 30) ' ')
+          (Fmt.str "%a" Insn.pp e.insn);
+        (match e.insn with
+        | Insn.Load _ -> Fmt.pr "  (result after %d cycle%s)" e.latency
+                           (if e.latency = 1 then "" else "s")
+        | _ -> ());
+        Fmt.pr "@.")
+      events
+
+let () =
+  Fmt.pr
+    "Figure 1d pipeline traces: two field loads and a pointer chase per@.\
+     iteration, steady state (iteration 20 of 40).@.";
+  (* one loop iteration = 7 instructions; skip into steady state *)
+  let skip = 3 + (7 * 20) in
+  let normal_events, normal_cycles =
+    trace Config.No_early (ring_program Insn.Ld_n) ~skip ~count:7
+  in
+  render "normal loads (ld_n): the loop pays the load-use stalls" normal_events;
+  let dual = Config.Dual { table_entries = 256; selection = Config.Compiler_directed } in
+  let early_events, early_cycles = trace dual (ring_program Insn.Ld_e) ~skip ~count:7 in
+  render "early-calculated loads (ld_e through R_addr)" early_events;
+  Fmt.pr "@.total: %d cycles with ld_n, %d with ld_e (%.2fx)@." normal_cycles
+    early_cycles
+    (float_of_int normal_cycles /. float_of_int early_cycles);
+  Fmt.pr
+    "@.The field loads (offsets 0 and 4) hit R_addr bound to the chain@.\
+     register and forward with zero latency.  The chase itself (offset 8)@.\
+     still has a true data recurrence - its address IS the previous@.\
+     load's data - but the dedicated R_addr adder + early cache access@.\
+     shortens each hop from issue+EXE+MEM to adder+cache.@."

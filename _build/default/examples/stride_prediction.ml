@@ -1,0 +1,81 @@
+(* Table-based address prediction deep dive: drives the Figure 3
+   state machine directly, then shows the table capturing a strided
+   kernel (the paper's Figure 1c / Figure 4a case) and the effect of
+   table size under contention.
+
+   Run with:  dune exec examples/stride_prediction.exe *)
+
+module Stride_entry = Elag_predict.Stride_entry
+module Addr_table = Elag_predict.Addr_table
+module Compile = Elag_harness.Compile
+module Config = Elag_sim.Config
+module Pipeline = Elag_sim.Pipeline
+
+let () =
+  (* 1. The Figure 3 state machine on a strided address stream. *)
+  Fmt.pr "Figure 3 state machine on addresses 100, 108, 116, ...:@.";
+  let e = Stride_entry.allocate 100 in
+  List.iter
+    (fun ca ->
+      let predicted = Stride_entry.predicted_address e in
+      let correct = Stride_entry.update e ca in
+      Fmt.pr "  access %d: predicted %d -> %s@." ca predicted
+        (if correct then "CORRECT" else "wrong"))
+    [ 108; 116; 124; 132; 140 ];
+
+  (* 2. A matrix kernel dominated by strided loads: the prediction
+        table captures nearly every access after warmup. *)
+  let source =
+    Elag_workloads.Runtime.with_prelude
+      {|
+int a[128 * 128];
+int b[128];
+
+int main() {
+  int r;
+  int c;
+  int round;
+  int sum = 0;
+  for (r = 0; r < 128; r++) {
+    for (c = 0; c < 128; c++) {
+      a[r * 128 + c] = r + c;
+    }
+    b[r] = r;
+  }
+  for (round = 0; round < 20; round++) {
+    for (r = 0; r < 128; r++) {
+      int acc = 0;
+      for (c = 0; c < 128; c++) {
+        acc = acc + a[r * 128 + c] * b[c];
+      }
+      sum = (sum + acc) % 1000003;
+    }
+  }
+  print_int(sum);
+  return 0;
+}
+|}
+  in
+  let program = Compile.compile source in
+  Fmt.pr "@.Strided kernel under table-based prediction:@.";
+  let base =
+    (fst (Pipeline.simulate (Config.with_mechanism Config.No_early Config.default) program))
+      .Pipeline.cycles
+  in
+  List.iter
+    (fun entries ->
+      let cfg =
+        Config.with_mechanism
+          (Config.Table_only { entries; compiler_filtered = true })
+          Config.default
+      in
+      let stats, _ = Pipeline.simulate cfg program in
+      Fmt.pr
+        "  %4d entries: %d/%d speculative accesses correct, speedup %.2fx@."
+        entries stats.Pipeline.table_successes stats.Pipeline.table_attempts
+        (float_of_int base /. float_of_int stats.Pipeline.cycles))
+    [ 16; 64; 256 ];
+  Fmt.pr
+    "@.The same kernel's loads would defeat the early-calculation path:@.\
+     their base registers are rewritten every iteration (Figure 1c),@.\
+     which is why the compiler routes them to the table instead.@."

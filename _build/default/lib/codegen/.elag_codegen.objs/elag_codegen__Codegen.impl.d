@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Elag_ir Elag_isa Emit List

@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Elag_ir Elag_isa

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Elag_ir Elag_isa List Regalloc

@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Elag_ir Elag_isa

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.ml: Elag_ir Elag_isa Hashtbl List

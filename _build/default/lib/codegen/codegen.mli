@@ -1,0 +1,8 @@
+(** Program-level code generation: lays out static data, emits every
+    function through {!Emit}, adds the [_start] shim and assembles the
+    final program. *)
+
+val default_stack_top : int
+(** 16 MiB: the top of the emulated stack. *)
+
+val generate : ?stack_top:int -> Elag_ir.Ir.program -> Elag_isa.Program.t

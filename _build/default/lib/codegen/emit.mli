@@ -1,0 +1,9 @@
+(** Instruction selection and emission: one IR function to a list of
+    assembly items.
+
+    Frame layout (offsets from sp, stack grows down): local slots
+    first, then register-allocator spill slots, then saved
+    callee-saved registers, with the return address in the top word. *)
+
+val emit_func :
+  layout:Elag_isa.Layout.t -> Elag_ir.Ir.func -> Elag_isa.Program.item list

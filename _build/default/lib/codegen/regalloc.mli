@@ -1,0 +1,16 @@
+(** Linear-scan register allocation over single-range live intervals.
+
+    Intervals crossing a call site are allocated from the callee-saved
+    pool so calls need no caller-side save/restore; when no register
+    is free, the interval with the furthest end point is spilled. *)
+
+type location =
+  | In_reg of Elag_isa.Reg.t
+  | Spilled of int  (** spill-slot index, 4 bytes each *)
+
+type result =
+  { location : Elag_ir.Ir.vreg -> location
+  ; spill_count : int
+  ; used_callee_saved : Elag_isa.Reg.t list }
+
+val allocate : Elag_ir.Ir.func -> result

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Elag_ir Elag_isa Elag_opt Hashtbl Int List Option Set

@@ -1,0 +1,1 @@
+lib/core/classify.mli: Elag_ir Elag_opt Int Set

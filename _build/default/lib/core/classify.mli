@@ -1,0 +1,38 @@
+(** Compiler-directed load classification — the paper's Section 4.
+
+    Assigns one of the three opcode specifiers to every static load:
+
+    - [Ld_p] (predict): arithmetic-dependent loads in loops, and loads
+      from absolute locations in acyclic code — their addresses are
+      constants or strides that the table-based predictor captures;
+    - [Ld_e] (early-calculate): the largest base-register group of
+      load-dependent, register+offset loads — pointer-chasing chains
+      whose base register is worth binding to R_addr;
+    - [Ld_n] (neither): everything else, so that neither the prediction
+      table nor R_addr is polluted.
+
+    Cyclic code is analyzed per natural loop, inner loops first; a load
+    is classified by its innermost enclosing loop.  The S_load set is
+    the fixpoint closure of load destinations through arithmetic
+    operations, exactly as in the paper. *)
+
+module Ir = Elag_ir.Ir
+
+val s_load_of_insts :
+  ?summaries:Elag_opt.Purity.t -> Ir.inst list -> Set.Make(Int).t
+(** Steps 1–2 of the cyclic heuristic over a loop body's instructions:
+    destinations of loads (and of calls, conservatively — unless the
+    summaries prove the callee returns pure arithmetic), closed over
+    arithmetic operations.  Exposed for testing. *)
+
+val run_func : ?summaries:Elag_opt.Purity.t -> Ir.func -> unit
+(** Classify every load of the function in place. *)
+
+val run : ?interprocedural:bool -> Ir.program -> unit
+(** Classify the whole program; [interprocedural] (default true)
+    computes {!Elag_opt.Purity} summaries first. *)
+
+val clear_func : Ir.func -> unit
+(** Reset every load to [Ld_n] (the no-compiler-support baseline). *)
+
+val clear : Ir.program -> unit

@@ -1,0 +1,1 @@
+lib/harness/compile.ml: Elag_codegen Elag_core Elag_ir Elag_isa Elag_minic Elag_opt Printf

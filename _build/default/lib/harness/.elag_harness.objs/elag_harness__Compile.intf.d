@@ -1,0 +1,1 @@
+lib/harness/compile.mli: Elag_ir Elag_isa Elag_opt

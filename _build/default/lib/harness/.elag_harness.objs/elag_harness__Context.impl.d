@@ -1,0 +1,1 @@
+lib/harness/context.ml: Compile Elag_isa Elag_predict Elag_sim Elag_workloads Hashtbl List Option Printf Profile String

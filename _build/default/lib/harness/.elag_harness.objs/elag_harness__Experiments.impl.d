@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Context Elag_sim Elag_workloads List Paper_data Printf Profile String

@@ -1,0 +1,1 @@
+lib/harness/profile.ml: Elag_isa Elag_predict Elag_sim Hashtbl Option

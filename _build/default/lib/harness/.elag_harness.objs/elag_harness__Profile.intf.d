@@ -1,0 +1,1 @@
+lib/harness/profile.mli: Elag_isa Elag_predict Hashtbl

@@ -1,0 +1,116 @@
+(* Memoized per-workload artifacts shared by all experiments: the
+   compiled (heuristics-classified) program, the address profile, the
+   profile-reclassified program, and timing-simulation results per
+   mechanism. *)
+
+module Program = Elag_isa.Program
+module Insn = Elag_isa.Insn
+module Config = Elag_sim.Config
+module Pipeline = Elag_sim.Pipeline
+module Workload = Elag_workloads.Workload
+
+type entry =
+  { workload : Workload.t
+  ; program : Program.t  (* compiled with the Section 4 heuristics *)
+  ; mutable profile : Profile.t option
+  ; mutable reclassified : Program.t option
+  ; sims : (string, Pipeline.stats) Hashtbl.t }
+
+let entries : (string, entry) Hashtbl.t = Hashtbl.create 32
+
+let get (w : Workload.t) =
+  match Hashtbl.find_opt entries w.Workload.name with
+  | Some e -> e
+  | None ->
+    let program = Compile.compile w.Workload.source in
+    let e = { workload = w; program; profile = None; reclassified = None
+            ; sims = Hashtbl.create 8 } in
+    Hashtbl.replace entries w.Workload.name e;
+    e
+
+let profile e =
+  match e.profile with
+  | Some p -> p
+  | None ->
+    let p = Profile.collect e.program in
+    e.profile <- Some p;
+    p
+
+let reclassified e =
+  match e.reclassified with
+  | Some p -> p
+  | None ->
+    let p = Profile.reclassify (profile e) e.program in
+    e.reclassified <- Some p;
+    p
+
+type variant = Classified | Reclassified
+
+let program_of e = function
+  | Classified -> e.program
+  | Reclassified -> reclassified e
+
+let simulate ?(variant = Classified) e mechanism =
+  let key =
+    Config.mechanism_name mechanism
+    ^ (match variant with Classified -> "" | Reclassified -> "+prof")
+  in
+  match Hashtbl.find_opt e.sims key with
+  | Some stats -> stats
+  | None ->
+    let cfg = Config.with_mechanism mechanism Config.default in
+    let stats, output = Pipeline.simulate cfg (program_of e variant) in
+    (match e.workload.Workload.expected_output with
+    | Some expected when String.trim output <> String.trim expected ->
+      failwith
+        (Printf.sprintf "%s: output mismatch under %s" e.workload.Workload.name key)
+    | _ -> ());
+    Hashtbl.replace e.sims key stats;
+    stats
+
+let base_cycles e = (simulate e Config.No_early).Pipeline.cycles
+
+let speedup e ?variant mechanism =
+  let s = simulate ?variant e mechanism in
+  float_of_int (base_cycles e) /. float_of_int s.Pipeline.cycles
+
+(* Static and dynamic load-class distribution of a program variant,
+   using the profile's per-pc execution counts. *)
+type distribution =
+  { static_nt : float; static_pd : float; static_ec : float
+  ; dynamic_nt : float; dynamic_pd : float; dynamic_ec : float
+  ; rate_nt : float option  (* ideal-predictor rate over NT loads *)
+  ; rate_pd : float option
+  ; total_dynamic_loads : int }
+
+let spec_of_insn = function
+  | Insn.Load { spec; _ } -> Some spec
+  | _ -> None
+
+let distribution ?(variant = Classified) e =
+  let prof = profile e in
+  let program = program_of e variant in
+  let loads = Program.static_loads program in
+  let pcs_of spec =
+    List.filter_map
+      (fun (pc, insn) -> if spec_of_insn insn = Some spec then Some pc else None)
+      loads
+  in
+  let nt = pcs_of Insn.Ld_n and pd = pcs_of Insn.Ld_p and ec = pcs_of Insn.Ld_e in
+  let st_total = List.length loads in
+  let dyn count_pcs =
+    List.fold_left (fun acc pc -> acc + Profile.executions prof pc) 0 count_pcs
+  in
+  let dyn_nt = dyn nt and dyn_pd = dyn pd and dyn_ec = dyn ec in
+  let dyn_total = max 1 (dyn_nt + dyn_pd + dyn_ec) in
+  let pct a b = 100. *. float_of_int a /. float_of_int (max 1 b) in
+  let rate pcs = Elag_predict.Ideal.aggregate_rate prof.Profile.rates pcs in
+  { static_nt = pct (List.length nt) st_total
+  ; static_pd = pct (List.length pd) st_total
+  ; static_ec = pct (List.length ec) st_total
+  ; dynamic_nt = pct dyn_nt dyn_total
+  ; dynamic_pd = pct dyn_pd dyn_total
+  ; dynamic_ec = pct dyn_ec dyn_total
+  ; rate_nt = Option.map (fun r -> 100. *. r) (rate nt)
+  ; rate_pd = Option.map (fun r -> 100. *. r) (rate pd)
+  ; total_dynamic_loads = dyn_total }

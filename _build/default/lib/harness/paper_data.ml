@@ -1,0 +1,91 @@
+(* Reference numbers transcribed from the paper, used to print
+   paper-vs-measured comparisons in every experiment.
+
+   Sources: Table 2 (load characteristics + prediction rates),
+   Table 3 (profile-guided classification), Table 4 (MediaBench),
+   Section 5.2 text (Figure 5c average speedups: hardware-only
+   dual-path 26%, compiler heuristics 34%, heuristics+profiling 38%). *)
+
+type table2_row =
+  { t2_name : string
+  ; t2_static_nt : float
+  ; t2_static_pd : float
+  ; t2_static_ec : float
+  ; t2_dynamic_nt : float
+  ; t2_dynamic_pd : float
+  ; t2_dynamic_ec : float
+  ; t2_rate_nt : float
+  ; t2_rate_pd : float }
+
+let table2 : table2_row list =
+  [ { t2_name = "008.espresso"; t2_static_nt = 17.25; t2_static_pd = 50.08; t2_static_ec = 32.67; t2_dynamic_nt = 18.10; t2_dynamic_pd = 74.52; t2_dynamic_ec = 7.38; t2_rate_nt = 92.65; t2_rate_pd = 77.92 }
+  ; { t2_name = "022.li"; t2_static_nt = 19.76; t2_static_pd = 30.10; t2_static_ec = 50.14; t2_dynamic_nt = 21.59; t2_dynamic_pd = 35.37; t2_dynamic_ec = 43.04; t2_rate_nt = 54.56; t2_rate_pd = 95.19 }
+  ; { t2_name = "023.eqntott"; t2_static_nt = 17.66; t2_static_pd = 57.64; t2_static_ec = 24.70; t2_dynamic_nt = 3.74; t2_dynamic_pd = 92.79; t2_dynamic_ec = 3.47; t2_rate_nt = 92.03; t2_rate_pd = 94.67 }
+  ; { t2_name = "026.compress"; t2_static_nt = 9.12; t2_static_pd = 85.04; t2_static_ec = 5.84; t2_dynamic_nt = 26.01; t2_dynamic_pd = 73.74; t2_dynamic_ec = 0.25; t2_rate_nt = 83.07; t2_rate_pd = 95.11 }
+  ; { t2_name = "072.sc"; t2_static_nt = 16.77; t2_static_pd = 45.32; t2_static_ec = 37.91; t2_dynamic_nt = 20.15; t2_dynamic_pd = 64.21; t2_dynamic_ec = 15.64; t2_rate_nt = 44.29; t2_rate_pd = 98.30 }
+  ; { t2_name = "085.cc1"; t2_static_nt = 22.19; t2_static_pd = 32.93; t2_static_ec = 44.88; t2_dynamic_nt = 24.15; t2_dynamic_pd = 48.40; t2_dynamic_ec = 27.45; t2_rate_nt = 64.61; t2_rate_pd = 88.88 }
+  ; { t2_name = "124.m88ksim"; t2_static_nt = 5.67; t2_static_pd = 54.52; t2_static_ec = 39.81; t2_dynamic_nt = 8.46; t2_dynamic_pd = 67.18; t2_dynamic_ec = 24.36; t2_rate_nt = 72.79; t2_rate_pd = 96.33 }
+  ; { t2_name = "129.compress"; t2_static_nt = 9.29; t2_static_pd = 82.51; t2_static_ec = 8.20; t2_dynamic_nt = 26.83; t2_dynamic_pd = 70.49; t2_dynamic_ec = 2.68; t2_rate_nt = 75.40; t2_rate_pd = 97.72 }
+  ; { t2_name = "130.li"; t2_static_nt = 19.16; t2_static_pd = 29.79; t2_static_ec = 51.05; t2_dynamic_nt = 13.96; t2_dynamic_pd = 35.98; t2_dynamic_ec = 50.06; t2_rate_nt = 78.94; t2_rate_pd = 88.96 }
+  ; { t2_name = "132.ijpeg"; t2_static_nt = 22.05; t2_static_pd = 28.88; t2_static_ec = 49.07; t2_dynamic_nt = 32.50; t2_dynamic_pd = 63.37; t2_dynamic_ec = 4.13; t2_rate_nt = 33.16; t2_rate_pd = 91.98 }
+  ; { t2_name = "134.perl"; t2_static_nt = 21.50; t2_static_pd = 32.52; t2_static_ec = 45.98; t2_dynamic_nt = 21.81; t2_dynamic_pd = 46.15; t2_dynamic_ec = 32.04; t2_rate_nt = 73.24; t2_rate_pd = 97.54 }
+  ; { t2_name = "147.vortex"; t2_static_nt = 16.21; t2_static_pd = 30.26; t2_static_ec = 53.53; t2_dynamic_nt = 26.91; t2_dynamic_pd = 24.45; t2_dynamic_ec = 48.64; t2_rate_nt = 85.03; t2_rate_pd = 93.54 } ]
+
+type table3_row =
+  { t3_name : string
+  ; t3_speedup : float
+  ; t3_static_pd : float
+  ; t3_dynamic_pd : float
+  ; t3_rate_nt : float
+  ; t3_rate_pd : float }
+
+let table3 : table3_row list =
+  [ { t3_name = "008.espresso"; t3_speedup = 1.34; t3_static_pd = 53.24; t3_dynamic_pd = 90.22; t3_rate_nt = 49.20; t3_rate_pd = 82.06 }
+  ; { t3_name = "022.li"; t3_speedup = 1.30; t3_static_pd = 31.12; t3_dynamic_pd = 39.19; t3_rate_nt = 16.37; t3_rate_pd = 95.66 }
+  ; { t3_name = "023.eqntott"; t3_speedup = 1.44; t3_static_pd = 59.79; t3_dynamic_pd = 96.21; t3_rate_nt = 38.54; t3_rate_pd = 94.70 }
+  ; { t3_name = "026.compress"; t3_speedup = 1.31; t3_static_pd = 85.77; t3_dynamic_pd = 83.12; t3_rate_nt = 41.43; t3_rate_pd = 95.08 }
+  ; { t3_name = "072.sc"; t3_speedup = 1.43; t3_static_pd = 46.75; t3_dynamic_pd = 67.99; t3_rate_nt = 35.91; t3_rate_pd = 97.44 }
+  ; { t3_name = "085.cc1"; t3_speedup = 1.27; t3_static_pd = 34.62; t3_dynamic_pd = 53.42; t3_rate_nt = 25.94; t3_rate_pd = 89.24 }
+  ; { t3_name = "124.m88ksim"; t3_speedup = 1.47; t3_static_pd = 54.87; t3_dynamic_pd = 72.45; t3_rate_nt = 21.14; t3_rate_pd = 95.33 }
+  ; { t3_name = "129.compress"; t3_speedup = 1.35; t3_static_pd = 83.06; t3_dynamic_pd = 74.74; t3_rate_nt = 27.89; t3_rate_pd = 97.86 }
+  ; { t3_name = "130.li"; t3_speedup = 1.31; t3_static_pd = 31.15; t3_dynamic_pd = 38.95; t3_rate_nt = 23.05; t3_rate_pd = 89.87 }
+  ; { t3_name = "132.ijpeg"; t3_speedup = 1.39; t3_static_pd = 31.80; t3_dynamic_pd = 64.52; t3_rate_nt = 29.18; t3_rate_pd = 91.72 }
+  ; { t3_name = "134.perl"; t3_speedup = 1.46; t3_static_pd = 33.46; t3_dynamic_pd = 55.93; t3_rate_nt = 0.84; t3_rate_pd = 97.42 }
+  ; { t3_name = "147.vortex"; t3_speedup = 1.52; t3_static_pd = 35.64; t3_dynamic_pd = 42.70; t3_rate_nt = 45.66; t3_rate_pd = 79.23 } ]
+
+type table4_row =
+  { t4_name : string
+  ; t4_static_nt : float
+  ; t4_static_pd : float
+  ; t4_static_ec : float
+  ; t4_dynamic_nt : float
+  ; t4_dynamic_pd : float
+  ; t4_dynamic_ec : float
+  ; t4_rate_nt : float
+  ; t4_rate_pd : float
+  ; t4_speedup : float }
+
+let table4 : table4_row list =
+  [ { t4_name = "G.721 Decode"; t4_static_nt = 16.67; t4_static_pd = 36.90; t4_static_ec = 46.43; t4_dynamic_nt = 18.16; t4_dynamic_pd = 66.73; t4_dynamic_ec = 15.11; t4_rate_nt = 39.67; t4_rate_pd = 81.47; t4_speedup = 1.15 }
+  ; { t4_name = "G.721 Encode"; t4_static_nt = 16.87; t4_static_pd = 37.35; t4_static_ec = 45.78; t4_dynamic_nt = 18.46; t4_dynamic_pd = 66.41; t4_dynamic_ec = 15.13; t4_rate_nt = 39.07; t4_rate_pd = 78.21; t4_speedup = 1.15 }
+  ; { t4_name = "EPIC Decode"; t4_static_nt = 11.88; t4_static_pd = 62.62; t4_static_ec = 25.50; t4_dynamic_nt = 9.73; t4_dynamic_pd = 78.34; t4_dynamic_ec = 11.93; t4_rate_nt = 55.14; t4_rate_pd = 99.02; t4_speedup = 1.22 }
+  ; { t4_name = "EPIC Encode"; t4_static_nt = 7.20; t4_static_pd = 40.06; t4_static_ec = 52.74; t4_dynamic_nt = 3.43; t4_dynamic_pd = 96.46; t4_dynamic_ec = 0.11; t4_rate_nt = 39.86; t4_rate_pd = 86.20; t4_speedup = 1.23 }
+  ; { t4_name = "Ghostscript"; t4_static_nt = 11.41; t4_static_pd = 29.43; t4_static_ec = 59.16; t4_dynamic_nt = 17.79; t4_dynamic_pd = 48.06; t4_dynamic_ec = 34.15; t4_rate_nt = 52.34; t4_rate_pd = 84.18; t4_speedup = 1.11 }
+  ; { t4_name = "GSM Decode"; t4_static_nt = 3.07; t4_static_pd = 35.58; t4_static_ec = 61.35; t4_dynamic_nt = 0.44; t4_dynamic_pd = 98.34; t4_dynamic_ec = 1.22; t4_rate_nt = 31.64; t4_rate_pd = 76.48; t4_speedup = 1.21 }
+  ; { t4_name = "GSM Encode"; t4_static_nt = 4.19; t4_static_pd = 34.16; t4_static_ec = 61.65; t4_dynamic_nt = 1.05; t4_dynamic_pd = 96.55; t4_dynamic_ec = 2.40; t4_rate_nt = 38.20; t4_rate_pd = 94.04; t4_speedup = 1.25 }
+  ; { t4_name = "MPEG Decode"; t4_static_nt = 8.21; t4_static_pd = 73.31; t4_static_ec = 18.48; t4_dynamic_nt = 3.48; t4_dynamic_pd = 94.48; t4_dynamic_ec = 2.04; t4_rate_nt = 27.19; t4_rate_pd = 73.31; t4_speedup = 1.19 }
+  ; { t4_name = "PGP Decode"; t4_static_nt = 9.95; t4_static_pd = 69.94; t4_static_ec = 20.11; t4_dynamic_nt = 0.29; t4_dynamic_pd = 98.91; t4_dynamic_ec = 0.80; t4_rate_nt = 29.73; t4_rate_pd = 98.58; t4_speedup = 1.27 }
+  ; { t4_name = "PGP Encode"; t4_static_nt = 9.95; t4_static_pd = 69.94; t4_static_ec = 20.11; t4_dynamic_nt = 6.73; t4_dynamic_pd = 77.28; t4_dynamic_ec = 15.99; t4_rate_nt = 26.56; t4_rate_pd = 71.08; t4_speedup = 1.15 }
+  ; { t4_name = "RASTA"; t4_static_nt = 19.30; t4_static_pd = 44.38; t4_static_ec = 36.32; t4_dynamic_nt = 12.39; t4_dynamic_pd = 82.89; t4_dynamic_ec = 4.72; t4_rate_nt = 36.69; t4_rate_pd = 91.32; t4_speedup = 1.21 }
+  ; { t4_name = "ADPCM Decode"; t4_static_nt = 21.43; t4_static_pd = 50.00; t4_static_ec = 28.57; t4_dynamic_nt = 39.99; t4_dynamic_pd = 59.93; t4_dynamic_ec = 0.08; t4_rate_nt = 16.21; t4_rate_pd = 81.03; t4_speedup = 1.16 }
+  ; { t4_name = "ADPCM Encode"; t4_static_nt = 28.57; t4_static_pd = 42.86; t4_static_ec = 28.57; t4_dynamic_nt = 33.33; t4_dynamic_pd = 66.60; t4_dynamic_ec = 0.07; t4_rate_nt = 16.21; t4_rate_pd = 86.59; t4_speedup = 1.14 }
+  ]
+
+(* Figure 5c average speedups from the Section 5.2 text. *)
+let fig5c_avg_dual_hw = 1.26
+let fig5c_avg_dual_cc = 1.34
+let fig5c_avg_dual_cc_profiled = 1.38
+
+let find_table2 name = List.find_opt (fun r -> r.t2_name = name) table2
+let find_table3 name = List.find_opt (fun r -> r.t3_name = name) table3
+let find_table4 name = List.find_opt (fun r -> r.t4_name = name) table4

@@ -1,0 +1,27 @@
+(** Address profiling (paper §4.3).
+
+    An emulation pass drives the unbounded per-PC stride predictor over
+    every dynamic load, yielding per-load prediction rates and
+    execution counts.  Reclassification upgrades [ld_n] loads whose
+    rate exceeds the threshold (60% in the paper) to [ld_p] — and
+    changes nothing else. *)
+
+type t =
+  { rates : Elag_predict.Ideal.t
+  ; exec_counts : (int, int) Hashtbl.t
+  ; mutable total_loads : int
+  ; mutable total_instructions : int }
+
+val collect : ?max_insns:int -> Elag_isa.Program.t -> t
+
+val rate : t -> int -> float option
+(** Stride-prediction rate of the load at this pc. *)
+
+val executions : t -> int -> int
+
+val default_threshold : float
+(** 0.60, the paper's value. *)
+
+val reclassify : ?threshold:float -> t -> Elag_isa.Program.t -> Elag_isa.Program.t
+(** Returns a fresh program with qualifying [ld_n] loads turned into
+    [ld_p]; the input program is unchanged. *)

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Hashtbl Ir List Map Option Set String

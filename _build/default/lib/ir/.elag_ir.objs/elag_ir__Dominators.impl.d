@@ -1,0 +1,1 @@
+lib/ir/dominators.ml: Cfg Ir List

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Elag_isa Fmt List Printf

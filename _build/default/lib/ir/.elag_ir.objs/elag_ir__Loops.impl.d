@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Cfg Dominators Ir List Option

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Char Elag_isa Elag_minic Fmt Hashtbl Ir List Option String

@@ -1,0 +1,64 @@
+(* Control-flow-graph utilities over {!Ir.func}: successor/predecessor
+   maps and reverse-postorder numbering. *)
+
+module SM = Map.Make (String)
+module SS = Set.Make (String)
+
+type t =
+  { func : Ir.func
+  ; blocks : Ir.block SM.t
+  ; succs : string list SM.t
+  ; preds : string list SM.t
+  ; rpo : string list  (* reverse postorder from the entry block *)
+  ; rpo_index : int SM.t }
+
+let of_func (f : Ir.func) =
+  let blocks =
+    List.fold_left (fun m (b : Ir.block) -> SM.add b.label b m) SM.empty f.blocks
+  in
+  let succs =
+    List.fold_left
+      (fun m (b : Ir.block) -> SM.add b.label (Ir.successors b.term) m)
+      SM.empty f.blocks
+  in
+  let preds =
+    List.fold_left
+      (fun m (b : Ir.block) ->
+        List.fold_left
+          (fun m s ->
+            let existing = Option.value (SM.find_opt s m) ~default:[] in
+            SM.add s (b.label :: existing) m)
+          m (Ir.successors b.term))
+      (List.fold_left (fun m (b : Ir.block) -> SM.add b.label [] m) SM.empty f.blocks)
+      f.blocks
+  in
+  let visited = Hashtbl.create 16 in
+  let postorder = ref [] in
+  let rec dfs label =
+    if not (Hashtbl.mem visited label) then begin
+      Hashtbl.replace visited label ();
+      List.iter dfs (Option.value (SM.find_opt label succs) ~default:[]);
+      postorder := label :: !postorder
+    end
+  in
+  dfs (Ir.entry_block f).label;
+  let rpo = !postorder in
+  let rpo_index =
+    List.fold_left
+      (fun (m, i) l -> (SM.add l i m, i + 1))
+      (SM.empty, 0) rpo
+    |> fst
+  in
+  { func = f; blocks; succs; preds; rpo; rpo_index }
+
+let block t label = SM.find label t.blocks
+
+let succs t label = Option.value (SM.find_opt label t.succs) ~default:[]
+
+let preds t label = Option.value (SM.find_opt label t.preds) ~default:[]
+
+let reachable t label = SM.mem label t.rpo_index
+
+(* Blocks never reached from the entry (dead after CFG simplification). *)
+let unreachable_blocks t =
+  List.filter (fun (b : Ir.block) -> not (reachable t b.label)) t.func.blocks

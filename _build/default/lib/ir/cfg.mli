@@ -1,0 +1,29 @@
+(** Control-flow-graph utilities over {!Ir.func}: successor and
+    predecessor maps, reverse-postorder numbering, reachability.
+
+    A [Cfg.t] is a snapshot: passes that add or remove blocks must
+    rebuild it with {!of_func}. *)
+
+module SM : Map.S with type key = string
+module SS : Set.S with type elt = string
+
+type t =
+  { func : Ir.func
+  ; blocks : Ir.block SM.t
+  ; succs : string list SM.t
+  ; preds : string list SM.t
+  ; rpo : string list  (** reverse postorder from the entry block *)
+  ; rpo_index : int SM.t }
+
+val of_func : Ir.func -> t
+
+val block : t -> string -> Ir.block
+(** Raises [Not_found] for unknown labels. *)
+
+val succs : t -> string -> string list
+val preds : t -> string -> string list
+
+val reachable : t -> string -> bool
+(** Is the block reachable from the entry? *)
+
+val unreachable_blocks : t -> Ir.block list

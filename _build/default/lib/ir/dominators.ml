@@ -1,0 +1,54 @@
+(* Immediate dominators via the Cooper–Harvey–Kennedy iterative
+   algorithm over the reverse-postorder numbering in {!Cfg}. *)
+
+module SM = Cfg.SM
+
+type t =
+  { idom : string SM.t  (* entry maps to itself *)
+  ; cfg : Cfg.t }
+
+let compute (cfg : Cfg.t) =
+  let entry = (Ir.entry_block cfg.func).label in
+  let index l = SM.find l cfg.rpo_index in
+  let idom = ref (SM.singleton entry entry) in
+  let intersect b1 b2 =
+    let rec go f1 f2 =
+      if f1 = f2 then f1
+      else if index f1 > index f2 then go (SM.find f1 !idom) f2
+      else go f1 (SM.find f2 !idom)
+    in
+    go b1 b2
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun label ->
+        if label <> entry then begin
+          let processed_preds =
+            List.filter
+              (fun p -> SM.mem p !idom && Cfg.reachable cfg p)
+              (Cfg.preds cfg label)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if SM.find_opt label !idom <> Some new_idom then begin
+              idom := SM.add label new_idom !idom;
+              changed := true
+            end
+        end)
+      cfg.rpo
+  done;
+  { idom = !idom; cfg }
+
+let idom t label = SM.find_opt label t.idom
+
+(* [dominates t a b]: does [a] dominate [b]?  Walks the idom chain. *)
+let dominates t a b =
+  let entry = (Ir.entry_block t.cfg.func).label in
+  let rec go b = if a = b then true else if b = entry then false
+    else match idom t b with Some p when p <> b -> go p | _ -> false
+  in
+  go b

@@ -1,0 +1,16 @@
+(** Immediate dominators, via the Cooper–Harvey–Kennedy iterative
+    algorithm over the reverse-postorder numbering in {!Cfg}. *)
+
+module SM : Map.S with type key = string
+
+type t =
+  { idom : string SM.t  (** the entry block maps to itself *)
+  ; cfg : Cfg.t }
+
+val compute : Cfg.t -> t
+
+val idom : t -> string -> string option
+(** Immediate dominator of a (reachable) block. *)
+
+val dominates : t -> string -> string -> bool
+(** [dominates t a b]: does [a] dominate [b]?  Reflexive. *)

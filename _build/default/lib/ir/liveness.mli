@@ -1,0 +1,15 @@
+(** Per-block virtual-register liveness by backwards iterative
+    dataflow.  Used by dead-code elimination and the register
+    allocator's interval construction. *)
+
+module VS : Set.S with type elt = int
+
+type t
+
+val compute : Cfg.t -> t
+
+val live_in : t -> string -> VS.t
+(** Virtual registers live on entry to the block. *)
+
+val live_out : t -> string -> VS.t
+(** Virtual registers live on exit from the block. *)

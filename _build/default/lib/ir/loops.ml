@@ -1,0 +1,77 @@
+(* Natural-loop detection from back edges (an edge t -> h where h
+   dominates t).  Loops are reported with their nesting depth and in
+   inner-first order, which is the order the paper's cyclic heuristic
+   processes them in (Section 4.1). *)
+
+module SS = Cfg.SS
+module SM = Cfg.SM
+
+type loop =
+  { header : string
+  ; body : SS.t       (* block labels, header included *)
+  ; depth : int       (* 1 = outermost *)
+  ; back_edges : string list  (* latch blocks *) }
+
+type t = loop list  (* inner-first (deepest first) *)
+
+let natural_loop cfg ~header ~latch =
+  let body = ref (SS.singleton header) in
+  let rec pull label =
+    if not (SS.mem label !body) then begin
+      body := SS.add label !body;
+      List.iter pull (Cfg.preds cfg label)
+    end
+  in
+  pull latch;
+  !body
+
+let compute (cfg : Cfg.t) (dom : Dominators.t) : t =
+  (* Find back edges among reachable blocks. *)
+  let back_edges =
+    List.concat_map
+      (fun (b : Ir.block) ->
+        if not (Cfg.reachable cfg b.label) then []
+        else
+          List.filter_map
+            (fun succ ->
+              if Dominators.dominates dom succ b.label then Some (succ, b.label)
+              else None)
+            (Cfg.succs cfg b.label))
+      cfg.func.blocks
+  in
+  (* Merge back edges sharing a header into one loop. *)
+  let by_header =
+    List.fold_left
+      (fun m (header, latch) ->
+        let existing = Option.value (SM.find_opt header m) ~default:[] in
+        SM.add header (latch :: existing) m)
+      SM.empty back_edges
+  in
+  let loops =
+    SM.fold
+      (fun header latches acc ->
+        let body =
+          List.fold_left
+            (fun acc latch -> SS.union acc (natural_loop cfg ~header ~latch))
+            SS.empty latches
+        in
+        { header; body; depth = 0; back_edges = latches } :: acc)
+      by_header []
+  in
+  (* Depth = number of loops containing this loop's header (itself
+     included). *)
+  let with_depth =
+    List.map
+      (fun l ->
+        let depth =
+          List.length (List.filter (fun l' -> SS.mem l.header l'.body) loops)
+        in
+        { l with depth })
+      loops
+  in
+  List.sort (fun a b -> compare b.depth a.depth) with_depth
+
+let innermost_containing (loops : t) label =
+  List.find_opt (fun l -> SS.mem label l.body) loops
+
+let mem loop label = SS.mem label loop.body

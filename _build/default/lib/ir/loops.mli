@@ -1,0 +1,22 @@
+(** Natural-loop detection from back edges.  Loops are reported with
+    their nesting depth and in inner-first order — the order the
+    paper's cyclic classification heuristic processes them in
+    (Section 4.1). *)
+
+module SS : Set.S with type elt = string
+
+type loop =
+  { header : string
+  ; body : SS.t              (** block labels, header included *)
+  ; depth : int              (** 1 = outermost *)
+  ; back_edges : string list (** latch blocks *) }
+
+type t = loop list
+(** Deepest (innermost) loops first. *)
+
+val compute : Cfg.t -> Dominators.t -> t
+
+val innermost_containing : t -> string -> loop option
+(** The innermost loop whose body contains the given block label. *)
+
+val mem : loop -> string -> bool

@@ -1,0 +1,14 @@
+(** Lowering from the typed MiniC tree ({!Elag_minic.Typed}) to the IR.
+
+    Storage decisions: scalar locals whose address is never taken live
+    in virtual registers (the "variable promotion" the paper's
+    heuristics depend on); arrays, structs and address-taken scalars
+    get frame slots.  Scalar globals are accessed with absolute
+    addressing ([Ir.Abs_sym]), which the acyclic classification
+    heuristic later keys on. *)
+
+val lower_func : Elag_minic.Structs.t -> Elag_minic.Typed.func -> Ir.func
+
+val lower_program : Elag_minic.Typed.program -> Ir.program
+(** Lower every function and turn globals, string literals and their
+    initializers into {!Ir.data} entries. *)

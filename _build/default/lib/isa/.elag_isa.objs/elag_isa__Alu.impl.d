@@ -1,0 +1,1 @@
+lib/isa/alu.ml: Insn

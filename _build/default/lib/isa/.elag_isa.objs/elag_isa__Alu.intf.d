@@ -1,0 +1,1 @@
+lib/isa/alu.mli: Insn

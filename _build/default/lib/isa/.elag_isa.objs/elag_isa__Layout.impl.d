@@ -1,0 +1,1 @@
+lib/isa/layout.ml: Buffer Char Hashtbl List Printf String

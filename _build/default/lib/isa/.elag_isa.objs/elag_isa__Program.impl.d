@@ -1,0 +1,1 @@
+lib/isa/program.ml: Array Fmt Hashtbl Insn Layout List Printf

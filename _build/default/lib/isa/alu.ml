@@ -1,0 +1,47 @@
+(* 32-bit ALU semantics shared by the emulator and the compiler's
+   constant folder, so folded results always match execution.
+
+   Values are OCaml ints normalized to the signed 32-bit range.  Shift
+   counts are masked to 5 bits.  Division by zero yields 0 rather than
+   trapping (MiniC workloads never rely on it; this keeps speculative
+   re-execution in the simulator total). *)
+
+let mask32 = 0xFFFFFFFF
+
+(* Normalize to signed 32-bit. *)
+let norm x =
+  let x = x land mask32 in
+  if x land 0x80000000 <> 0 then x - (mask32 + 1) else x
+
+let to_unsigned x = x land mask32
+
+let bool_int b = if b then 1 else 0
+
+let eval (op : Insn.alu_op) a b =
+  let a = norm a and b = norm b in
+  match op with
+  | Insn.Add -> norm (a + b)
+  | Insn.Sub -> norm (a - b)
+  | Insn.Mul -> norm (a * b)
+  | Insn.Div -> if b = 0 then 0 else norm (a / b)
+  | Insn.Rem -> if b = 0 then 0 else norm (a mod b)
+  | Insn.And -> norm (a land b)
+  | Insn.Or -> norm (a lor b)
+  | Insn.Xor -> norm (a lxor b)
+  | Insn.Sll -> norm (to_unsigned a lsl (b land 31))
+  | Insn.Srl -> norm (to_unsigned a lsr (b land 31))
+  | Insn.Sra -> norm (a asr (b land 31))
+  | Insn.Slt -> bool_int (a < b)
+  | Insn.Sle -> bool_int (a <= b)
+  | Insn.Seq -> bool_int (a = b)
+  | Insn.Sne -> bool_int (a <> b)
+
+let eval_cond (cond : Insn.cond) a b =
+  let a = norm a and b = norm b in
+  match cond with
+  | Insn.Eq -> a = b
+  | Insn.Ne -> a <> b
+  | Insn.Lt -> a < b
+  | Insn.Le -> a <= b
+  | Insn.Gt -> a > b
+  | Insn.Ge -> a >= b

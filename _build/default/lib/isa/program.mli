@@ -1,0 +1,46 @@
+(** An assembled EPA-32 program: label-resolved code plus the initial
+    data image and heap base. *)
+
+type item =
+  | Label of string
+  | Insn of Insn.t
+  | Comment of string
+
+type t
+
+exception Unknown_label of string
+
+val assemble : ?entry:string -> layout:Layout.t -> item list -> t
+(** Resolve labels and build the program.  [entry] defaults to
+    ["_start"].  Raises {!Unknown_label} for unresolved control-transfer
+    targets and [Invalid_argument] for duplicate labels. *)
+
+val length : t -> int
+(** Number of instructions. *)
+
+val insn : t -> int -> Insn.t
+(** Instruction at index [pc]. *)
+
+val target : t -> int -> int
+(** Resolved control-transfer target of the instruction at [pc], or -1
+    if the instruction has no static target. *)
+
+val entry : t -> int
+(** Entry-point instruction index. *)
+
+val symbol : t -> string -> int
+(** Instruction index of a code label. *)
+
+val data_image : t -> (int * string) list
+
+val heap_base : t -> int
+
+val map_insns : (int -> Insn.t -> Insn.t) -> t -> t
+(** Rewrite instructions in place positions (a fresh program is
+    returned); [f] must preserve control-flow targets. *)
+
+val static_loads : t -> (int * Insn.t) list
+(** All static load instructions as [(pc, insn)] rows, in code order. *)
+
+val pp : t Fmt.t
+(** Disassembly listing. *)

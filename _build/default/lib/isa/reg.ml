@@ -1,0 +1,48 @@
+(* Architectural registers of the EPA-32 machine.
+
+   The machine has 64 integer registers.  [r0] is hard-wired to zero, as
+   on most RISC machines; writes to it are discarded.  A handful of
+   registers have a fixed role in the calling convention used by the
+   code generator (see {!Elag_codegen.Frame}). *)
+
+type t = int
+
+let count = 64
+
+let zero = 0
+let ra = 1 (* return address, written by [jal] *)
+let sp = 2 (* stack pointer *)
+let fp = 3 (* frame pointer *)
+let rv = 4 (* return value *)
+
+(* First and last argument registers: up to 8 arguments in registers. *)
+let arg_first = 5
+let arg_last = 12
+
+(* Caller-saved temporaries available to the register allocator. *)
+let tmp_first = 13
+let tmp_last = 39
+
+(* Callee-saved registers available to the register allocator. *)
+let saved_first = 40
+let saved_last = 60
+
+(* Reserved scratch registers for the code generator itself (spill
+   reloads, address materialization).  Never given to the allocator.
+   Three are needed: a store through a reg+reg address with a spilled
+   source reads three values. *)
+let scratch0 = 62
+let scratch1 = 63
+let scratch2 = 61
+
+let is_valid r = r >= 0 && r < count
+
+let name r =
+  if not (is_valid r) then invalid_arg "Reg.name"
+  else if r = zero then "zero"
+  else if r = ra then "ra"
+  else if r = sp then "sp"
+  else if r = fp then "fp"
+  else Printf.sprintf "r%d" r
+
+let pp ppf r = Fmt.string ppf (name r)

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Buffer Char List Printf String

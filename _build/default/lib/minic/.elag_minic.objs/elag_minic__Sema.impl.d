@@ -1,0 +1,1 @@
+lib/minic/sema.ml: Ast Char Fmt Hashtbl List Option Printf Structs Typed

@@ -1,0 +1,1 @@
+lib/minic/structs.ml: Ast Hashtbl List

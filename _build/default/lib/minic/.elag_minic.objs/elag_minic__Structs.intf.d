@@ -1,0 +1,1 @@
+lib/minic/structs.mli: Ast

@@ -1,0 +1,1 @@
+lib/minic/typed.ml: Ast Structs

@@ -1,0 +1,108 @@
+(* Abstract syntax of MiniC, the C subset the workload kernels are
+   written in.  The parser produces this untyped tree; {!Sema} checks it
+   and produces the typed tree in {!Typed}. *)
+
+type ty =
+  | Tvoid
+  | Tint
+  | Tchar
+  | Tptr of ty
+  | Tarray of ty * int
+  | Tstruct of string
+
+type unop =
+  | Neg   (* -e *)
+  | Lnot  (* !e *)
+  | Bnot  (* ~e *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr
+  | Band | Bor | Bxor
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type expr =
+  { desc : expr_desc
+  ; line : int }
+
+and expr_desc =
+  | Int_lit of int
+  | Char_lit of char
+  | Str_lit of string
+  | Var of string
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Assign of expr * expr
+  | Call of string * expr list
+  | Index of expr * expr
+  | Field of expr * string
+  | Arrow of expr * string
+  | Deref of expr
+  | Addr_of of expr
+  | Cond of expr * expr * expr
+  | Cast of ty * expr
+  | Sizeof of ty
+
+type stmt =
+  { sdesc : stmt_desc
+  ; sline : int }
+
+and stmt_desc =
+  | Sexpr of expr
+  | Sdecl of ty * string * expr option
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo_while of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+  | Sblock of stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+
+type global_init =
+  | Init_int of int
+  | Init_list of int list
+  | Init_string of string
+
+type struct_def =
+  { struct_name : string
+  ; fields : (ty * string) list
+  ; struct_line : int }
+
+type global_def =
+  { global_ty : ty
+  ; global_name : string
+  ; global_init : global_init option
+  ; global_line : int }
+
+type func_def =
+  { func_name : string
+  ; return_ty : ty
+  ; params : (ty * string) list
+  ; body : stmt list
+  ; func_line : int }
+
+type decl =
+  | Dstruct of struct_def
+  | Dglobal of global_def
+  | Dfunc of func_def
+
+type program = decl list
+
+let rec pp_ty ppf = function
+  | Tvoid -> Fmt.string ppf "void"
+  | Tint -> Fmt.string ppf "int"
+  | Tchar -> Fmt.string ppf "char"
+  | Tptr t -> Fmt.pf ppf "%a*" pp_ty t
+  | Tarray (t, n) -> Fmt.pf ppf "%a[%d]" pp_ty t n
+  | Tstruct s -> Fmt.pf ppf "struct %s" s
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Shl -> "<<" | Shr -> ">>"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Land -> "&&" | Lor -> "||"
+
+let unop_name = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"

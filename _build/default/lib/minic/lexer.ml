@@ -1,0 +1,227 @@
+(* Hand-written lexer for MiniC. *)
+
+type token =
+  | INT_LIT of int
+  | CHAR_LIT of char
+  | STR_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_INT | KW_CHAR | KW_VOID | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_SIZEOF
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | QUESTION | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | SHL | SHR | AMP | PIPE | CARET | TILDE | BANG
+  | ANDAND | OROR
+  | EQ | EQEQ | NEQ | LT | LE | GT | GE
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+type t =
+  { token : token
+  ; line : int }
+
+exception Error of string * int
+
+let keyword_of_string = function
+  | "int" -> Some KW_INT
+  | "char" -> Some KW_CHAR
+  | "void" -> Some KW_VOID
+  | "struct" -> Some KW_STRUCT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "sizeof" -> Some KW_SIZEOF
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let hex_value c =
+  if is_digit c then Char.code c - Char.code '0'
+  else if c >= 'a' && c <= 'f' then Char.code c - Char.code 'a' + 10
+  else Char.code c - Char.code 'A' + 10
+
+(* Tokenize the whole source eagerly; MiniC sources are small. *)
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then src.[!pos + k] else '\000' in
+  let cur () = peek 0 in
+  let advance () =
+    if cur () = '\n' then incr line;
+    incr pos
+  in
+  let emit tok = tokens := { token = tok; line = !line } :: !tokens in
+  let error msg = raise (Error (msg, !line)) in
+  let lex_escape () =
+    (* cursor is on the char after the backslash *)
+    let c = cur () in
+    advance ();
+    match c with
+    | 'n' -> '\n'
+    | 't' -> '\t'
+    | 'r' -> '\r'
+    | '0' -> '\000'
+    | '\\' -> '\\'
+    | '\'' -> '\''
+    | '"' -> '"'
+    | c -> error (Printf.sprintf "unknown escape \\%c" c)
+  in
+  while !pos < n do
+    let c = cur () in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = '/' then
+      while !pos < n && cur () <> '\n' do advance () done
+    else if c = '/' && peek 1 = '*' then begin
+      advance (); advance ();
+      let rec skip () =
+        if !pos >= n then error "unterminated comment"
+        else if cur () = '*' && peek 1 = '/' then begin advance (); advance () end
+        else begin advance (); skip () end
+      in
+      skip ()
+    end
+    else if is_digit c then begin
+      if c = '0' && (peek 1 = 'x' || peek 1 = 'X') then begin
+        advance (); advance ();
+        let v = ref 0 in
+        if not (is_hex (cur ())) then error "bad hex literal";
+        while is_hex (cur ()) do
+          v := (!v * 16) + hex_value (cur ());
+          advance ()
+        done;
+        emit (INT_LIT !v)
+      end
+      else begin
+        let v = ref 0 in
+        while is_digit (cur ()) do
+          v := (!v * 10) + (Char.code (cur ()) - Char.code '0');
+          advance ()
+        done;
+        emit (INT_LIT !v)
+      end
+    end
+    else if is_alpha c then begin
+      let start = !pos in
+      while is_alnum (cur ()) do advance () done;
+      let s = String.sub src start (!pos - start) in
+      match keyword_of_string s with
+      | Some kw -> emit kw
+      | None -> emit (IDENT s)
+    end
+    else if c = '\'' then begin
+      advance ();
+      let ch = if cur () = '\\' then begin advance (); lex_escape () end
+        else begin let ch = cur () in advance (); ch end
+      in
+      if cur () <> '\'' then error "unterminated char literal";
+      advance ();
+      emit (CHAR_LIT ch)
+    end
+    else if c = '"' then begin
+      advance ();
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then error "unterminated string literal"
+        else if cur () = '"' then advance ()
+        else if cur () = '\\' then begin
+          advance ();
+          Buffer.add_char b (lex_escape ());
+          go ()
+        end
+        else begin
+          Buffer.add_char b (cur ());
+          advance ();
+          go ()
+        end
+      in
+      go ();
+      emit (STR_LIT (Buffer.contents b))
+    end
+    else begin
+      let two tok = advance (); advance (); emit tok in
+      let one tok = advance (); emit tok in
+      match (c, peek 1) with
+      | '<', '<' -> two SHL
+      | '>', '>' -> two SHR
+      | '&', '&' -> two ANDAND
+      | '|', '|' -> two OROR
+      | '=', '=' -> two EQEQ
+      | '!', '=' -> two NEQ
+      | '<', '=' -> two LE
+      | '>', '=' -> two GE
+      | '+', '=' -> two PLUSEQ
+      | '-', '=' -> two MINUSEQ
+      | '*', '=' -> two STAREQ
+      | '/', '=' -> two SLASHEQ
+      | '+', '+' -> two PLUSPLUS
+      | '-', '-' -> two MINUSMINUS
+      | '-', '>' -> two ARROW
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ';', _ -> one SEMI
+      | ',', _ -> one COMMA
+      | '.', _ -> one DOT
+      | '?', _ -> one QUESTION
+      | ':', _ -> one COLON
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '&', _ -> one AMP
+      | '|', _ -> one PIPE
+      | '^', _ -> one CARET
+      | '~', _ -> one TILDE
+      | '!', _ -> one BANG
+      | '=', _ -> one EQ
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | c, _ -> error (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let token_name = function
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | CHAR_LIT c -> Printf.sprintf "char %C" c
+  | STR_LIT _ -> "string literal"
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KW_INT -> "int" | KW_CHAR -> "char" | KW_VOID -> "void"
+  | KW_STRUCT -> "struct" | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_WHILE -> "while" | KW_DO -> "do" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_SIZEOF -> "sizeof"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> "," | DOT -> "." | ARROW -> "->"
+  | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | SHL -> "<<" | SHR -> ">>" | AMP -> "&" | PIPE -> "|" | CARET -> "^"
+  | TILDE -> "~" | BANG -> "!"
+  | ANDAND -> "&&" | OROR -> "||"
+  | EQ -> "=" | EQEQ -> "==" | NEQ -> "!=" | LT -> "<" | LE -> "<="
+  | GT -> ">" | GE -> ">="
+  | PLUSEQ -> "+=" | MINUSEQ -> "-=" | STAREQ -> "*=" | SLASHEQ -> "/="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "end of file"

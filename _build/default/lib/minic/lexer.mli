@@ -1,0 +1,34 @@
+(** Hand-written lexer for MiniC.  Tokenizes eagerly (sources are
+    small) with line tracking for error messages. *)
+
+type token =
+  | INT_LIT of int
+  | CHAR_LIT of char
+  | STR_LIT of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_VOID | KW_STRUCT
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE | KW_SIZEOF
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | DOT | ARROW
+  | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | SHL | SHR | AMP | PIPE | CARET | TILDE | BANG
+  | ANDAND | OROR
+  | EQ | EQEQ | NEQ | LT | LE | GT | GE
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+type t =
+  { token : token
+  ; line : int }
+
+exception Error of string * int
+(** Message and line number. *)
+
+val tokenize : string -> t list
+(** The whole token stream, ending with [EOF]. *)
+
+val token_name : token -> string
+(** Human-readable name for error messages. *)

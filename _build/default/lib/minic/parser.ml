@@ -1,0 +1,505 @@
+(* Recursive-descent parser for MiniC.
+
+   Syntactic sugar handled here:
+   - [e1 op= e2] parses as [e1 = e1 op e2];
+   - [++e], [e++], [--e], [e--] parse as [e = e +/- 1] (both forms yield
+     the new value; workload sources never rely on the post-increment
+     old value in expression position). *)
+
+open Ast
+
+exception Error of string * int
+
+type state =
+  { tokens : Lexer.t array
+  ; mutable index : int }
+
+let make tokens = { tokens = Array.of_list tokens; index = 0 }
+
+let peek st = st.tokens.(st.index).Lexer.token
+let peek2 st =
+  if st.index + 1 < Array.length st.tokens then st.tokens.(st.index + 1).Lexer.token
+  else Lexer.EOF
+let line st = st.tokens.(st.index).Lexer.line
+
+let error st msg = raise (Error (msg, line st))
+
+let advance st = st.index <- st.index + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (Lexer.token_name tok)
+         (Lexer.token_name (peek st)))
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT s -> advance st; s
+  | tok -> error st (Printf.sprintf "expected identifier, found %s" (Lexer.token_name tok))
+
+(* --- types --------------------------------------------------------- *)
+
+let starts_type st =
+  match peek st with
+  | Lexer.KW_INT | Lexer.KW_CHAR | Lexer.KW_VOID | Lexer.KW_STRUCT -> true
+  | _ -> false
+
+let parse_base_type st =
+  match peek st with
+  | Lexer.KW_INT -> advance st; Tint
+  | Lexer.KW_CHAR -> advance st; Tchar
+  | Lexer.KW_VOID -> advance st; Tvoid
+  | Lexer.KW_STRUCT ->
+    advance st;
+    let name = expect_ident st in
+    Tstruct name
+  | tok -> error st (Printf.sprintf "expected a type, found %s" (Lexer.token_name tok))
+
+let parse_stars st ty =
+  let rec go ty =
+    if peek st = Lexer.STAR then begin advance st; go (Tptr ty) end else ty
+  in
+  go ty
+
+let parse_type st = parse_stars st (parse_base_type st)
+
+(* Array dimensions allow simple constant expressions:
+   literals combined with [*], [+] and [-]. *)
+let parse_const_dim st =
+  let atom () =
+    match peek st with
+    | Lexer.INT_LIT n -> advance st; n
+    | Lexer.CHAR_LIT c -> advance st; Char.code c
+    | _ -> error st "array dimension must be a constant expression"
+  in
+  let rec go acc =
+    match peek st with
+    | Lexer.STAR -> advance st; go (acc * atom ())
+    | Lexer.PLUS -> advance st; go (acc + atom ())
+    | Lexer.MINUS -> advance st; go (acc - atom ())
+    | _ -> acc
+  in
+  go (atom ())
+
+(* Array suffixes bind outside-in: [int a[2][3]] is an array of 2 arrays
+   of 3 ints. *)
+let rec parse_array_suffix st ty =
+  if peek st = Lexer.LBRACKET then begin
+    advance st;
+    let n = parse_const_dim st in
+    expect st Lexer.RBRACKET;
+    Tarray (parse_array_suffix st ty, n)
+  end
+  else ty
+
+(* --- expressions --------------------------------------------------- *)
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  let binop_assign op =
+    advance st;
+    let rhs = parse_assign st in
+    { desc = Assign (lhs, { desc = Binop (op, lhs, rhs); line = lhs.line })
+    ; line = lhs.line }
+  in
+  match peek st with
+  | Lexer.EQ ->
+    advance st;
+    let rhs = parse_assign st in
+    { desc = Assign (lhs, rhs); line = lhs.line }
+  | Lexer.PLUSEQ -> binop_assign Add
+  | Lexer.MINUSEQ -> binop_assign Sub
+  | Lexer.STAREQ -> binop_assign Mul
+  | Lexer.SLASHEQ -> binop_assign Div
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_lor st in
+  if peek st = Lexer.QUESTION then begin
+    advance st;
+    let t = parse_assign st in
+    expect st Lexer.COLON;
+    let f = parse_cond st in
+    { desc = Cond (c, t, f); line = c.line }
+  end
+  else c
+
+and parse_left st next table =
+  let rec go lhs =
+    match List.assoc_opt (peek st) table with
+    | Some op ->
+      advance st;
+      let rhs = next st in
+      go { desc = Binop (op, lhs, rhs); line = lhs.line }
+    | None -> lhs
+  in
+  go (next st)
+
+and parse_lor st = parse_left st parse_land [ (Lexer.OROR, Lor) ]
+and parse_land st = parse_left st parse_bor [ (Lexer.ANDAND, Land) ]
+and parse_bor st = parse_left st parse_bxor [ (Lexer.PIPE, Bor) ]
+and parse_bxor st = parse_left st parse_band [ (Lexer.CARET, Bxor) ]
+and parse_band st = parse_left st parse_equality [ (Lexer.AMP, Band) ]
+
+and parse_equality st =
+  parse_left st parse_relational [ (Lexer.EQEQ, Eq); (Lexer.NEQ, Ne) ]
+
+and parse_relational st =
+  parse_left st parse_shift
+    [ (Lexer.LT, Lt); (Lexer.LE, Le); (Lexer.GT, Gt); (Lexer.GE, Ge) ]
+
+and parse_shift st =
+  parse_left st parse_additive [ (Lexer.SHL, Shl); (Lexer.SHR, Shr) ]
+
+and parse_additive st =
+  parse_left st parse_multiplicative [ (Lexer.PLUS, Add); (Lexer.MINUS, Sub) ]
+
+and parse_multiplicative st =
+  parse_left st parse_unary
+    [ (Lexer.STAR, Mul); (Lexer.SLASH, Div); (Lexer.PERCENT, Rem) ]
+
+and parse_unary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.MINUS ->
+    advance st;
+    { desc = Unop (Neg, parse_unary st); line = ln }
+  | Lexer.BANG ->
+    advance st;
+    { desc = Unop (Lnot, parse_unary st); line = ln }
+  | Lexer.TILDE ->
+    advance st;
+    { desc = Unop (Bnot, parse_unary st); line = ln }
+  | Lexer.STAR ->
+    advance st;
+    { desc = Deref (parse_unary st); line = ln }
+  | Lexer.AMP ->
+    advance st;
+    { desc = Addr_of (parse_unary st); line = ln }
+  | Lexer.PLUSPLUS | Lexer.MINUSMINUS ->
+    let op = if peek st = Lexer.PLUSPLUS then Add else Sub in
+    advance st;
+    let e = parse_unary st in
+    { desc =
+        Assign (e, { desc = Binop (op, e, { desc = Int_lit 1; line = ln }); line = ln })
+    ; line = ln }
+  | Lexer.KW_SIZEOF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let ty = parse_array_suffix st (parse_type st) in
+    expect st Lexer.RPAREN;
+    { desc = Sizeof ty; line = ln }
+  | Lexer.LPAREN when starts_type_after_lparen st ->
+    advance st;
+    let ty = parse_type st in
+    expect st Lexer.RPAREN;
+    { desc = Cast (ty, parse_unary st); line = ln }
+  | _ -> parse_postfix st
+
+and starts_type_after_lparen st =
+  peek st = Lexer.LPAREN
+  &&
+  match peek2 st with
+  | Lexer.KW_INT | Lexer.KW_CHAR | Lexer.KW_VOID | Lexer.KW_STRUCT -> true
+  | _ -> false
+
+and parse_postfix st =
+  let rec go e =
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Lexer.RBRACKET;
+      go { desc = Index (e, idx); line = e.line }
+    | Lexer.DOT ->
+      advance st;
+      let f = expect_ident st in
+      go { desc = Field (e, f); line = e.line }
+    | Lexer.ARROW ->
+      advance st;
+      let f = expect_ident st in
+      go { desc = Arrow (e, f); line = e.line }
+    | Lexer.PLUSPLUS | Lexer.MINUSMINUS ->
+      let op = if peek st = Lexer.PLUSPLUS then Add else Sub in
+      let ln = line st in
+      advance st;
+      go
+        { desc =
+            Assign (e, { desc = Binop (op, e, { desc = Int_lit 1; line = ln }); line = ln })
+        ; line = e.line }
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  let ln = line st in
+  match peek st with
+  | Lexer.INT_LIT n -> advance st; { desc = Int_lit n; line = ln }
+  | Lexer.CHAR_LIT c -> advance st; { desc = Char_lit c; line = ln }
+  | Lexer.STR_LIT s -> advance st; { desc = Str_lit s; line = ln }
+  | Lexer.IDENT name ->
+    advance st;
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      let args = parse_args st in
+      expect st Lexer.RPAREN;
+      { desc = Call (name, args); line = ln }
+    end
+    else { desc = Var name; line = ln }
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Lexer.RPAREN;
+    e
+  | tok -> error st (Printf.sprintf "unexpected %s in expression" (Lexer.token_name tok))
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if peek st = Lexer.COMMA then begin advance st; go (e :: acc) end
+      else List.rev (e :: acc)
+    in
+    go []
+
+(* --- statements ---------------------------------------------------- *)
+
+let rec parse_stmt st =
+  let ln = line st in
+  let mk sdesc = { sdesc; sline = ln } in
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    let body = parse_block_items st in
+    expect st Lexer.RBRACE;
+    mk (Sblock body)
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_expr st in
+    expect st Lexer.RPAREN;
+    let then_ = parse_stmt st in
+    if peek st = Lexer.KW_ELSE then begin
+      advance st;
+      let else_ = parse_stmt st in
+      mk (Sif (c, then_, Some else_))
+    end
+    else mk (Sif (c, then_, None))
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let c = parse_expr st in
+    expect st Lexer.RPAREN;
+    mk (Swhile (c, parse_stmt st))
+  | Lexer.KW_DO ->
+    advance st;
+    let body = parse_stmt st in
+    expect st Lexer.KW_WHILE;
+    expect st Lexer.LPAREN;
+    let c = parse_expr st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.SEMI;
+    mk (Sdo_while (body, c))
+  | Lexer.KW_FOR ->
+    advance st;
+    expect st Lexer.LPAREN;
+    let init =
+      if peek st = Lexer.SEMI then begin advance st; None end
+      else if starts_type st then begin
+        let s = parse_decl_stmt st in
+        Some s
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Lexer.SEMI;
+        Some { sdesc = Sexpr e; sline = ln }
+      end
+    in
+    let cond = if peek st = Lexer.SEMI then None else Some (parse_expr st) in
+    expect st Lexer.SEMI;
+    let step = if peek st = Lexer.RPAREN then None else Some (parse_expr st) in
+    expect st Lexer.RPAREN;
+    mk (Sfor (init, cond, step, parse_stmt st))
+  | Lexer.KW_RETURN ->
+    advance st;
+    if peek st = Lexer.SEMI then begin
+      advance st;
+      mk (Sreturn None)
+    end
+    else begin
+      let e = parse_expr st in
+      expect st Lexer.SEMI;
+      mk (Sreturn (Some e))
+    end
+  | Lexer.KW_BREAK ->
+    advance st;
+    expect st Lexer.SEMI;
+    mk Sbreak
+  | Lexer.KW_CONTINUE ->
+    advance st;
+    expect st Lexer.SEMI;
+    mk Scontinue
+  | _ when starts_type st -> parse_decl_stmt st
+  | _ ->
+    let e = parse_expr st in
+    expect st Lexer.SEMI;
+    mk (Sexpr e)
+
+and parse_decl_stmt st =
+  let ln = line st in
+  let base = parse_type st in
+  let name = expect_ident st in
+  let ty = parse_array_suffix st base in
+  let init =
+    if peek st = Lexer.EQ then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  expect st Lexer.SEMI;
+  { sdesc = Sdecl (ty, name, init); sline = ln }
+
+and parse_block_items st =
+  let rec go acc =
+    if peek st = Lexer.RBRACE || peek st = Lexer.EOF then List.rev acc
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* --- top-level declarations ---------------------------------------- *)
+
+let parse_global_init st =
+  match peek st with
+  | Lexer.INT_LIT n -> advance st; Init_int n
+  | Lexer.CHAR_LIT c -> advance st; Init_int (Char.code c)
+  | Lexer.MINUS ->
+    advance st;
+    (match peek st with
+    | Lexer.INT_LIT n -> advance st; Init_int (-n)
+    | _ -> error st "expected integer after unary minus in initializer")
+  | Lexer.STR_LIT s -> advance st; Init_string s
+  | Lexer.LBRACE ->
+    advance st;
+    let rec go acc =
+      match peek st with
+      | Lexer.RBRACE -> advance st; List.rev acc
+      | Lexer.INT_LIT n ->
+        advance st;
+        if peek st = Lexer.COMMA then advance st;
+        go (n :: acc)
+      | Lexer.CHAR_LIT c ->
+        advance st;
+        if peek st = Lexer.COMMA then advance st;
+        go (Char.code c :: acc)
+      | Lexer.MINUS ->
+        advance st;
+        (match peek st with
+        | Lexer.INT_LIT n ->
+          advance st;
+          if peek st = Lexer.COMMA then advance st;
+          go (-n :: acc)
+        | _ -> error st "expected integer after unary minus in initializer")
+      | tok -> error st (Printf.sprintf "bad initializer element %s" (Lexer.token_name tok))
+    in
+    Init_list (go [])
+  | tok -> error st (Printf.sprintf "bad global initializer %s" (Lexer.token_name tok))
+
+let parse_struct_def st =
+  let ln = line st in
+  expect st Lexer.KW_STRUCT;
+  let name = expect_ident st in
+  expect st Lexer.LBRACE;
+  let rec fields acc =
+    if peek st = Lexer.RBRACE then List.rev acc
+    else begin
+      let base = parse_type st in
+      let fname = expect_ident st in
+      let fty = parse_array_suffix st base in
+      expect st Lexer.SEMI;
+      fields ((fty, fname) :: acc)
+    end
+  in
+  let fs = fields [] in
+  expect st Lexer.RBRACE;
+  expect st Lexer.SEMI;
+  { struct_name = name; fields = fs; struct_line = ln }
+
+let parse_params st =
+  if peek st = Lexer.RPAREN then []
+  else if peek st = Lexer.KW_VOID && peek2 st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let base = parse_type st in
+      let name = expect_ident st in
+      let ty = parse_array_suffix st base in
+      let acc = (ty, name) :: acc in
+      if peek st = Lexer.COMMA then begin advance st; go acc end
+      else List.rev acc
+    in
+    go []
+
+let rec parse_decl st =
+  let ln = line st in
+  if peek st = Lexer.KW_STRUCT then
+    (* "struct S { ... };" is a definition; "struct S name" is a use. *)
+    match peek2 st with
+    | Lexer.IDENT _ ->
+      let save = st.index in
+      advance st;
+      advance st;
+      if peek st = Lexer.LBRACE then begin
+        st.index <- save;
+        Dstruct (parse_struct_def st)
+      end
+      else begin
+        st.index <- save;
+        parse_global_or_func st ln
+      end
+    | _ -> error st "expected struct name"
+  else parse_global_or_func st ln
+
+and parse_global_or_func st ln =
+  let base = parse_type st in
+  let name = expect_ident st in
+  if peek st = Lexer.LPAREN then begin
+    advance st;
+    let params = parse_params st in
+    expect st Lexer.RPAREN;
+    expect st Lexer.LBRACE;
+    let body = parse_block_items st in
+    expect st Lexer.RBRACE;
+    Dfunc { func_name = name; return_ty = base; params; body; func_line = ln }
+  end
+  else begin
+    let ty = parse_array_suffix st base in
+    let init =
+      if peek st = Lexer.EQ then begin
+        advance st;
+        Some (parse_global_init st)
+      end
+      else None
+    in
+    expect st Lexer.SEMI;
+    Dglobal { global_ty = ty; global_name = name; global_init = init; global_line = ln }
+  end
+
+let parse_program st =
+  let rec go acc =
+    if peek st = Lexer.EOF then List.rev acc else go (parse_decl st :: acc)
+  in
+  go []
+
+let parse src =
+  let tokens =
+    try Lexer.tokenize src
+    with Lexer.Error (msg, ln) -> raise (Error ("lexical error: " ^ msg, ln))
+  in
+  parse_program (make tokens)

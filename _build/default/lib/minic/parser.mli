@@ -1,0 +1,12 @@
+(** Recursive-descent parser for MiniC.
+
+    Syntactic sugar handled here: [e1 op= e2] parses as
+    [e1 = e1 op e2]; [++e], [e++], [--e], [e--] parse as
+    [e = e +- 1] (both forms yield the new value).  Array dimensions
+    accept simple constant expressions (literals combined with
+    [*], [+], [-]). *)
+
+exception Error of string * int
+(** Message and source line (lexical errors are wrapped too). *)
+
+val parse : string -> Ast.program

@@ -1,0 +1,433 @@
+(* Semantic analysis: resolves names, checks types, computes struct
+   layouts, interns string literals, and produces the typed tree. *)
+
+exception Error of string * int
+
+let error line fmt = Printf.ksprintf (fun msg -> raise (Error (msg, line))) fmt
+
+type func_sig = { sig_ret : Ast.ty; sig_params : Ast.ty list }
+
+type env =
+  { structs : Structs.t
+  ; globals : (string, Ast.ty) Hashtbl.t
+  ; funcs : (string, func_sig) Hashtbl.t
+  ; strings : (string, string) Hashtbl.t  (* contents -> label *)
+  ; mutable string_order : (string * string) list  (* label, contents *)
+  ; mutable next_string : int }
+
+let builtins =
+  [ ("print_int", { sig_ret = Ast.Tvoid; sig_params = [ Ast.Tint ] })
+  ; ("print_char", { sig_ret = Ast.Tvoid; sig_params = [ Ast.Tint ] })
+  ; ("exit", { sig_ret = Ast.Tvoid; sig_params = [ Ast.Tint ] }) ]
+
+let is_builtin name = List.mem_assoc name builtins
+
+let intern_string env contents =
+  match Hashtbl.find_opt env.strings contents with
+  | Some label -> label
+  | None ->
+    let label = Printf.sprintf "__str%d" env.next_string in
+    env.next_string <- env.next_string + 1;
+    Hashtbl.replace env.strings contents label;
+    env.string_order <- (label, contents) :: env.string_order;
+    label
+
+(* Per-function checking state. *)
+type fstate =
+  { env : env
+  ; ret_ty : Ast.ty
+  ; mutable scopes : (string, Typed.local) Hashtbl.t list
+  ; mutable locals : Typed.local list
+  ; mutable next_local : int
+  ; mutable loop_depth : int }
+
+let push_scope fs = fs.scopes <- Hashtbl.create 8 :: fs.scopes
+let pop_scope fs =
+  match fs.scopes with
+  | _ :: rest -> fs.scopes <- rest
+  | [] -> assert false
+
+let lookup_local fs name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest ->
+      (match Hashtbl.find_opt scope name with Some l -> Some l | None -> go rest)
+  in
+  go fs.scopes
+
+let declare_local fs line ~is_param name ty =
+  (match fs.scopes with
+  | scope :: _ when Hashtbl.mem scope name ->
+    error line "redeclaration of %s" name
+  | _ -> ());
+  let local =
+    { Typed.local_name = name
+    ; local_ty = ty
+    ; local_id = fs.next_local
+    ; addr_taken = false
+    ; is_param }
+  in
+  fs.next_local <- fs.next_local + 1;
+  fs.locals <- local :: fs.locals;
+  (match fs.scopes with
+  | scope :: _ -> Hashtbl.replace scope name local
+  | [] -> assert false);
+  local
+
+let rec check_ty_wf env line = function
+  | Ast.Tstruct s when not (Structs.mem env.structs s) ->
+    error line "unknown struct %s" s
+  | Ast.Tptr t -> check_ty_wf env line t
+  | Ast.Tarray (t, n) ->
+    if n <= 0 then error line "array dimension must be positive";
+    check_ty_wf env line t
+  | Ast.Tvoid | Ast.Tint | Ast.Tchar | Ast.Tstruct _ -> ()
+
+let mk desc ty line : Typed.expr = { desc; ty; line }
+
+(* Apply array-to-pointer decay for value contexts. *)
+let rvalue (e : Typed.expr) =
+  match e.ty with
+  | Ast.Tarray (elt, _) -> mk (Typed.Decay e) (Ast.Tptr elt) e.line
+  | _ -> e
+
+let rec is_lvalue (e : Typed.expr) =
+  match e.desc with
+  | Typed.Var _ | Typed.Index _ | Typed.Deref _ -> true
+  | Typed.Field (base, _) -> is_lvalue base
+  | _ -> false
+
+(* Mark scalar locals whose own storage escapes via [&] so lowering
+   puts them on the stack instead of in a virtual register.  [&a[i]]
+   and [&p->f] do not expose the base local itself: arrays and structs
+   always live in stack slots, and a pointer base is only read. *)
+let rec mark_addr_taken (e : Typed.expr) =
+  match e.desc with
+  | Typed.Var (Typed.Local l) -> l.addr_taken <- true
+  | Typed.Field (base, _) -> mark_addr_taken base
+  | _ -> ()
+
+let scalar_check line what ty =
+  if not (Typed.is_scalar ty) then
+    error line "%s must have scalar type (found %s)" what
+      (Fmt.str "%a" Ast.pp_ty ty)
+
+let compatible t1 t2 =
+  match (t1, t2) with
+  | (Ast.Tint | Ast.Tchar), (Ast.Tint | Ast.Tchar) -> true
+  | Ast.Tptr _, Ast.Tptr _ -> true
+  (* permissive int<->pointer mixing, as the workload kernels use
+     integer "addresses" returned by their own allocators *)
+  | Ast.Tptr _, (Ast.Tint | Ast.Tchar) | (Ast.Tint | Ast.Tchar), Ast.Tptr _ -> true
+  | _ -> t1 = t2
+
+let rec check_expr fs (e : Ast.expr) : Typed.expr =
+  let line = e.line in
+  match e.desc with
+  | Ast.Int_lit n -> mk (Typed.Const n) Ast.Tint line
+  | Ast.Char_lit c -> mk (Typed.Const (Char.code c)) Ast.Tint line
+  | Ast.Str_lit s ->
+    let label = intern_string fs.env s in
+    mk (Typed.Str label) (Ast.Tptr Ast.Tchar) line
+  | Ast.Var name -> begin
+    match lookup_local fs name with
+    | Some l -> mk (Typed.Var (Typed.Local l)) l.Typed.local_ty line
+    | None ->
+      (match Hashtbl.find_opt fs.env.globals name with
+      | Some ty -> mk (Typed.Var (Typed.Global (name, ty))) ty line
+      | None -> error line "unknown variable %s" name)
+  end
+  | Ast.Sizeof ty ->
+    check_ty_wf fs.env line ty;
+    mk (Typed.Const (Structs.size_of fs.env.structs ty)) Ast.Tint line
+  | Ast.Unop (op, a) ->
+    let a = rvalue (check_expr fs a) in
+    (match op with
+    | Ast.Neg | Ast.Bnot ->
+      scalar_check line "operand" a.ty;
+      mk (Typed.Unop (op, a)) Ast.Tint line
+    | Ast.Lnot ->
+      scalar_check line "operand" a.ty;
+      mk (Typed.Unop (op, a)) Ast.Tint line)
+  | Ast.Binop (op, a, b) -> check_binop fs line op a b
+  | Ast.Assign (lhs, rhs) ->
+    let lhs = check_expr fs lhs in
+    if not (is_lvalue lhs) then error line "assignment target is not an lvalue";
+    scalar_check line "assignment target" lhs.ty;
+    let rhs = rvalue (check_expr fs rhs) in
+    if not (compatible lhs.ty rhs.ty) then
+      error line "incompatible assignment: %s = %s"
+        (Fmt.str "%a" Ast.pp_ty lhs.ty) (Fmt.str "%a" Ast.pp_ty rhs.ty);
+    mk (Typed.Assign (lhs, rhs)) lhs.ty line
+  | Ast.Call (name, args) ->
+    let signature =
+      match List.assoc_opt name builtins with
+      | Some s -> s
+      | None ->
+        (match Hashtbl.find_opt fs.env.funcs name with
+        | Some s -> s
+        | None -> error line "call to unknown function %s" name)
+    in
+    let expected = List.length signature.sig_params in
+    if List.length args <> expected then
+      error line "%s expects %d arguments, got %d" name expected (List.length args);
+    let args =
+      List.map2
+        (fun pty arg ->
+          let arg = rvalue (check_expr fs arg) in
+          if not (compatible pty arg.Typed.ty) then
+            error line "argument type mismatch in call to %s" name;
+          arg)
+        signature.sig_params args
+    in
+    mk (Typed.Call (name, args)) signature.sig_ret line
+  | Ast.Index (base, idx) ->
+    let base = rvalue (check_expr fs base) in
+    let idx = rvalue (check_expr fs idx) in
+    scalar_check line "array index" idx.ty;
+    (match base.ty with
+    | Ast.Tptr elt -> mk (Typed.Index (base, idx)) elt line
+    | _ -> error line "indexed expression is not a pointer or array")
+  | Ast.Field (base, fname) ->
+    let base = check_expr fs base in
+    (match base.ty with
+    | Ast.Tstruct sname ->
+      let f = find_field fs line sname fname in
+      mk (Typed.Field (base, fname)) f.Structs.field_ty line
+    | _ -> error line "field access on non-struct value")
+  | Ast.Arrow (base, fname) ->
+    let base = rvalue (check_expr fs base) in
+    (match base.ty with
+    | Ast.Tptr (Ast.Tstruct sname) ->
+      let f = find_field fs line sname fname in
+      let deref = mk (Typed.Deref base) (Ast.Tstruct sname) line in
+      mk (Typed.Field (deref, fname)) f.Structs.field_ty line
+    | _ -> error line "-> on non-struct-pointer value")
+  | Ast.Deref p ->
+    let p = rvalue (check_expr fs p) in
+    (match p.ty with
+    | Ast.Tptr t -> mk (Typed.Deref p) t line
+    | _ -> error line "dereference of non-pointer")
+  | Ast.Addr_of a ->
+    let a = check_expr fs a in
+    if not (is_lvalue a) then error line "& requires an lvalue";
+    mark_addr_taken a;
+    mk (Typed.Addr_of a) (Ast.Tptr a.ty) line
+  | Ast.Cond (c, t, f) ->
+    let c = rvalue (check_expr fs c) in
+    scalar_check line "condition" c.ty;
+    let t = rvalue (check_expr fs t) in
+    let f = rvalue (check_expr fs f) in
+    if not (compatible t.ty f.ty) then error line "mismatched ?: branches";
+    let ty = match t.ty with Ast.Tptr _ -> t.ty | _ -> t.ty in
+    mk (Typed.Cond (c, t, f)) ty line
+  | Ast.Cast (ty, a) ->
+    check_ty_wf fs.env line ty;
+    scalar_check line "cast target" ty;
+    let a = rvalue (check_expr fs a) in
+    scalar_check line "cast operand" a.ty;
+    { a with ty }
+
+and find_field fs line sname fname =
+  try Structs.field fs.env.structs ~struct_name:sname ~field_name:fname
+  with
+  | Structs.Unknown_field _ -> error line "struct %s has no field %s" sname fname
+  | Structs.Unknown_struct _ -> error line "unknown struct %s" sname
+
+and check_binop fs line op a b =
+  let a = rvalue (check_expr fs a) in
+  let b = rvalue (check_expr fs b) in
+  scalar_check line "operand" a.ty;
+  scalar_check line "operand" b.ty;
+  let ty =
+    match (op, a.Typed.ty, b.Typed.ty) with
+    | Ast.Add, Ast.Tptr _, (Ast.Tint | Ast.Tchar) -> a.Typed.ty
+    | Ast.Add, (Ast.Tint | Ast.Tchar), Ast.Tptr _ -> b.Typed.ty
+    | Ast.Sub, Ast.Tptr _, (Ast.Tint | Ast.Tchar) -> a.Typed.ty
+    | Ast.Sub, Ast.Tptr _, Ast.Tptr _ -> Ast.Tint
+    | (Ast.Add | Ast.Sub), Ast.Tptr _, _ | (Ast.Add | Ast.Sub), _, Ast.Tptr _ ->
+      error line "invalid pointer arithmetic"
+    | (Ast.Mul | Ast.Div | Ast.Rem | Ast.Shl | Ast.Shr
+      | Ast.Band | Ast.Bor | Ast.Bxor), Ast.Tptr _, _
+    | (Ast.Mul | Ast.Div | Ast.Rem | Ast.Shl | Ast.Shr
+      | Ast.Band | Ast.Bor | Ast.Bxor), _, Ast.Tptr _ ->
+      error line "invalid pointer operand"
+    | _ -> Ast.Tint
+  in
+  mk (Typed.Binop (op, a, b)) ty line
+
+let rec check_stmt fs (s : Ast.stmt) : Typed.stmt =
+  let line = s.sline in
+  match s.sdesc with
+  | Ast.Sexpr e -> Typed.Sexpr (check_expr fs e)
+  | Ast.Sdecl (ty, name, init) ->
+    check_ty_wf fs.env line ty;
+    if ty = Ast.Tvoid then error line "void variable %s" name;
+    let init =
+      match init with
+      | None -> None
+      | Some e ->
+        scalar_check line "initialized variable" ty;
+        let e = rvalue (check_expr fs e) in
+        if not (compatible ty e.Typed.ty) then
+          error line "incompatible initializer for %s" name;
+        Some e
+    in
+    let local = declare_local fs line ~is_param:false name ty in
+    Typed.Sdecl (local, init)
+  | Ast.Sif (c, t, f) ->
+    let c = rvalue (check_expr fs c) in
+    scalar_check line "condition" c.Typed.ty;
+    let t = check_branch fs t in
+    let f = match f with None -> [] | Some f -> check_branch fs f in
+    Typed.Sif (c, t, f)
+  | Ast.Swhile (c, body) ->
+    let c = rvalue (check_expr fs c) in
+    scalar_check line "condition" c.Typed.ty;
+    Typed.Sloop
+      { cond = c; body = check_loop_body fs body; step = []; post_test = false }
+  | Ast.Sdo_while (body, c) ->
+    let body = check_loop_body fs body in
+    let c = rvalue (check_expr fs c) in
+    scalar_check line "condition" c.Typed.ty;
+    Typed.Sloop { cond = c; body; step = []; post_test = true }
+  | Ast.Sfor (init, cond, step, body) ->
+    push_scope fs;
+    let init = Option.map (check_stmt fs) init in
+    let cond =
+      match cond with
+      | None -> mk (Typed.Const 1) Ast.Tint line
+      | Some c ->
+        let c = rvalue (check_expr fs c) in
+        scalar_check line "condition" c.Typed.ty;
+        c
+    in
+    let step = Option.map (fun e -> Typed.Sexpr (check_expr fs e)) step in
+    fs.loop_depth <- fs.loop_depth + 1;
+    let body = [ check_stmt fs body ] in
+    fs.loop_depth <- fs.loop_depth - 1;
+    pop_scope fs;
+    let loop =
+      Typed.Sloop { cond; body; step = Option.to_list step; post_test = false }
+    in
+    Typed.Sblock (Option.to_list init @ [ loop ])
+  | Ast.Sblock body ->
+    push_scope fs;
+    let body = List.map (check_stmt fs) body in
+    pop_scope fs;
+    Typed.Sblock body
+  | Ast.Sreturn e ->
+    let e =
+      match (e, fs.ret_ty) with
+      | None, Ast.Tvoid -> None
+      | None, _ -> error line "missing return value"
+      | Some _, Ast.Tvoid -> error line "returning a value from a void function"
+      | Some e, ret ->
+        let e = rvalue (check_expr fs e) in
+        if not (compatible ret e.Typed.ty) then error line "bad return type";
+        Some e
+    in
+    Typed.Sreturn e
+  | Ast.Sbreak ->
+    if fs.loop_depth = 0 then error line "break outside a loop";
+    Typed.Sbreak
+  | Ast.Scontinue ->
+    if fs.loop_depth = 0 then error line "continue outside a loop";
+    Typed.Scontinue
+
+and check_branch fs s =
+  push_scope fs;
+  let r = [ check_stmt fs s ] in
+  pop_scope fs;
+  r
+
+and check_loop_body fs s =
+  fs.loop_depth <- fs.loop_depth + 1;
+  push_scope fs;
+  let r = [ check_stmt fs s ] in
+  pop_scope fs;
+  fs.loop_depth <- fs.loop_depth - 1;
+  r
+
+(* Parameters of array type decay to pointers. *)
+let decay_param_ty = function
+  | Ast.Tarray (elt, _) -> Ast.Tptr elt
+  | ty -> ty
+
+let check_func env (f : Ast.func_def) : Typed.func =
+  let fs =
+    { env; ret_ty = f.return_ty; scopes = []; locals = []; next_local = 0
+    ; loop_depth = 0 }
+  in
+  push_scope fs;
+  let params =
+    List.map
+      (fun (ty, name) ->
+        let ty = decay_param_ty ty in
+        check_ty_wf env f.func_line ty;
+        scalar_check f.func_line "parameter" ty;
+        declare_local fs f.func_line ~is_param:true name ty)
+      f.params
+  in
+  let body = List.map (check_stmt fs) f.body in
+  pop_scope fs;
+  { Typed.name = f.func_name
+  ; return_ty = f.return_ty
+  ; params
+  ; locals = List.rev fs.locals
+  ; body }
+
+let check_global env (g : Ast.global_def) =
+  check_ty_wf env g.global_line g.global_ty;
+  if g.global_ty = Ast.Tvoid then error g.global_line "void global";
+  (match (g.global_init, g.global_ty) with
+  | None, _ -> ()
+  | Some (Ast.Init_int _), ty when Typed.is_scalar ty -> ()
+  | Some (Ast.Init_list _), Ast.Tarray ((Ast.Tint | Ast.Tchar | Ast.Tptr _), _) -> ()
+  | Some (Ast.Init_string _), Ast.Tarray (Ast.Tchar, _) -> ()
+  | Some _, _ -> error g.global_line "bad initializer for %s" g.global_name);
+  (g.global_name, g.global_ty, g.global_init)
+
+let check (prog : Ast.program) : Typed.program =
+  let env =
+    { structs = Structs.create ()
+    ; globals = Hashtbl.create 32
+    ; funcs = Hashtbl.create 32
+    ; strings = Hashtbl.create 16
+    ; string_order = []
+    ; next_string = 0 }
+  in
+  (* Pass 1: struct layouts, global types and function signatures, in
+     declaration order, so bodies can call forward. *)
+  List.iter
+    (function
+      | Ast.Dstruct def ->
+        (try Structs.define env.structs def
+         with Invalid_argument msg -> error def.struct_line "%s" msg)
+      | Ast.Dglobal g ->
+        if Hashtbl.mem env.globals g.global_name then
+          error g.global_line "duplicate global %s" g.global_name;
+        check_ty_wf env g.global_line g.global_ty;
+        Hashtbl.replace env.globals g.global_name g.global_ty
+      | Ast.Dfunc f ->
+        if Hashtbl.mem env.funcs f.func_name || is_builtin f.func_name then
+          error f.func_line "duplicate function %s" f.func_name;
+        Hashtbl.replace env.funcs f.func_name
+          { sig_ret = f.return_ty
+          ; sig_params = List.map (fun (ty, _) -> decay_param_ty ty) f.params })
+    prog;
+  (* Pass 2: bodies. *)
+  let globals = ref [] in
+  let funcs = ref [] in
+  List.iter
+    (function
+      | Ast.Dstruct _ -> ()
+      | Ast.Dglobal g -> globals := check_global env g :: !globals
+      | Ast.Dfunc f -> funcs := check_func env f :: !funcs)
+    prog;
+  if not (Hashtbl.mem env.funcs "main") then
+    raise (Error ("program has no main function", 0));
+  { Typed.structs = env.structs
+  ; globals = List.rev !globals
+  ; strings = List.rev env.string_order
+  ; funcs = List.rev !funcs }

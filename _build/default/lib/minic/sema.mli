@@ -1,0 +1,11 @@
+(** Semantic analysis: resolves names, checks types, computes struct
+    layouts, interns string literals, and produces the typed tree.
+
+    Two-pass: all struct layouts, global types and function signatures
+    are collected first, so functions may call forward (including
+    mutual recursion) without prototypes. *)
+
+exception Error of string * int
+(** Message and source line. *)
+
+val check : Ast.program -> Typed.program

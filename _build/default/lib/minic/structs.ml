@@ -1,0 +1,67 @@
+(* Struct layout: field offsets, sizes and alignments, computed with
+   natural alignment (char 1, int/pointer 4). *)
+
+type field = { field_ty : Ast.ty; offset : int }
+
+type info =
+  { size : int
+  ; align : int
+  ; by_name : (string * field) list }
+
+type t = (string, info) Hashtbl.t
+
+exception Unknown_struct of string
+exception Unknown_field of string * string
+
+let create () : t = Hashtbl.create 16
+
+let info t name =
+  match Hashtbl.find_opt t name with
+  | Some i -> i
+  | None -> raise (Unknown_struct name)
+
+let rec size_of t = function
+  | Ast.Tvoid -> 0
+  | Ast.Tint -> 4
+  | Ast.Tchar -> 1
+  | Ast.Tptr _ -> 4
+  | Ast.Tarray (elt, n) -> n * size_of t elt
+  | Ast.Tstruct s -> (info t s).size
+
+let rec align_of t = function
+  | Ast.Tvoid -> 1
+  | Ast.Tint -> 4
+  | Ast.Tchar -> 1
+  | Ast.Tptr _ -> 4
+  | Ast.Tarray (elt, _) -> align_of t elt
+  | Ast.Tstruct s -> (info t s).align
+
+let align_up n a = (n + a - 1) / a * a
+
+(* Structs must be defined before use inside other structs, so a single
+   pass in declaration order suffices. *)
+let define t (def : Ast.struct_def) =
+  if Hashtbl.mem t def.struct_name then
+    invalid_arg ("duplicate struct " ^ def.struct_name);
+  let offset = ref 0 in
+  let align = ref 1 in
+  let by_name =
+    List.map
+      (fun (fty, fname) ->
+        let a = align_of t fty in
+        align := max !align a;
+        let off = align_up !offset a in
+        offset := off + size_of t fty;
+        (fname, { field_ty = fty; offset = off }))
+      def.fields
+  in
+  let size = align_up !offset !align in
+  Hashtbl.replace t def.struct_name { size = max size 1; align = !align; by_name }
+
+let field t ~struct_name ~field_name =
+  let i = info t struct_name in
+  match List.assoc_opt field_name i.by_name with
+  | Some f -> f
+  | None -> raise (Unknown_field (struct_name, field_name))
+
+let mem t name = Hashtbl.mem t name

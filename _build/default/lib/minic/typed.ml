@@ -1,0 +1,76 @@
+(* Typed abstract syntax, produced by {!Sema}.
+
+   Differences from {!Ast}:
+   - every expression carries its type;
+   - variable references are resolved (global vs. local, with a shared
+     mutable [local] record that tracks address-taken-ness);
+   - [p->f] is normalized to a deref followed by a field access;
+     character literals and [sizeof]
+     are folded to constants; string literals are interned with a label;
+   - arrays decay to pointers where used as values. *)
+
+type local =
+  { local_name : string
+  ; local_ty : Ast.ty
+  ; local_id : int
+  ; mutable addr_taken : bool
+  ; is_param : bool }
+
+type var_ref =
+  | Global of string * Ast.ty
+  | Local of local
+
+type expr =
+  { desc : expr_desc
+  ; ty : Ast.ty
+  ; line : int }
+
+and expr_desc =
+  | Const of int
+  | Str of string  (* data label of the interned string *)
+  | Var of var_ref
+  | Unop of Ast.unop * expr
+  | Binop of Ast.binop * expr * expr
+  | Assign of expr * expr
+  | Call of string * expr list
+  | Index of expr * expr
+  | Field of expr * string    (* operand has struct type *)
+  | Deref of expr
+  | Addr_of of expr
+  | Cond of expr * expr * expr
+  | Decay of expr             (* array lvalue used as a pointer value *)
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of local * expr option
+  | Sif of expr * stmt list * stmt list
+  | Sloop of loop
+  | Sblock of stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+
+(* Unified loop form.  [continue] jumps to [step] (then the condition);
+   [post_test] loops run the body once before the first test. *)
+and loop =
+  { cond : expr
+  ; body : stmt list
+  ; step : stmt list
+  ; post_test : bool }
+
+type func =
+  { name : string
+  ; return_ty : Ast.ty
+  ; params : local list
+  ; locals : local list  (* includes params *)
+  ; body : stmt list }
+
+type program =
+  { structs : Structs.t
+  ; globals : (string * Ast.ty * Ast.global_init option) list
+  ; strings : (string * string) list  (* label, contents *)
+  ; funcs : func list }
+
+let is_scalar = function
+  | Ast.Tint | Ast.Tchar | Ast.Tptr _ -> true
+  | Ast.Tvoid | Ast.Tarray _ | Ast.Tstruct _ -> false

@@ -1,0 +1,1 @@
+lib/opt/addr_promote.ml: Elag_ir Hashtbl Licm List Strength_reduce

@@ -1,0 +1,1 @@
+lib/opt/addr_promote.mli: Elag_ir

@@ -1,0 +1,1 @@
+lib/opt/collapse_movs.ml: Elag_ir List Use_counts

@@ -1,0 +1,1 @@
+lib/opt/collapse_movs.mli: Elag_ir

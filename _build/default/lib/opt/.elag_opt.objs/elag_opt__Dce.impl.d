@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Elag_ir Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/opt/driver.ml: Addr_promote Collapse_movs Dce Elag_ir Global_prop Inline Licm List Local_opt Purity Simplify_cfg Strength_reduce Unroll

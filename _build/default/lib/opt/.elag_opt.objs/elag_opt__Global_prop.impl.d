@@ -1,0 +1,1 @@
+lib/opt/global_prop.ml: Elag_ir Hashtbl List Use_counts

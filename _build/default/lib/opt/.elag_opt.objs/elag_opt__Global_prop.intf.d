@@ -1,0 +1,1 @@
+lib/opt/global_prop.mli: Elag_ir

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Elag_ir Hashtbl List Option Printf

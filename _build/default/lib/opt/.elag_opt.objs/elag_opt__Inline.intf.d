@@ -1,0 +1,1 @@
+lib/opt/inline.mli: Elag_ir

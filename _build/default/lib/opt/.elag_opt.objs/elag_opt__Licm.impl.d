@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Elag_ir Hashtbl List Option Purity

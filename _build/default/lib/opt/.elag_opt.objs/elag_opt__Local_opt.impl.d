@@ -1,0 +1,1 @@
+lib/opt/local_opt.ml: Elag_ir Elag_isa List

@@ -1,0 +1,1 @@
+lib/opt/local_opt.mli: Elag_ir

@@ -1,0 +1,1 @@
+lib/opt/purity.ml: Elag_ir Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/opt/purity.mli: Elag_ir

@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.ml: Elag_ir Elag_isa Hashtbl List

@@ -1,0 +1,1 @@
+lib/opt/simplify_cfg.mli: Elag_ir

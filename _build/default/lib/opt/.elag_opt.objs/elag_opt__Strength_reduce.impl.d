@@ -1,0 +1,1 @@
+lib/opt/strength_reduce.ml: Elag_ir Hashtbl Licm List Option

@@ -1,0 +1,1 @@
+lib/opt/strength_reduce.mli: Elag_ir

@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Elag_ir List Printf

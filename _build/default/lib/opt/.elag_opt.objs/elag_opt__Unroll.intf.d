@@ -1,0 +1,1 @@
+lib/opt/unroll.mli: Elag_ir

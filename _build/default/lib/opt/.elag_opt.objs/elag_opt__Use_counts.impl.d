@@ -1,0 +1,1 @@
+lib/opt/use_counts.ml: Elag_ir Hashtbl List Option

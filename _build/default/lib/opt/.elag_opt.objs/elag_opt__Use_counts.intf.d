@@ -1,0 +1,1 @@
+lib/opt/use_counts.mli: Elag_ir

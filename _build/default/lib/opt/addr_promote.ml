@@ -1,0 +1,120 @@
+(* Pointer induction-variable formation (address strength reduction).
+
+   Converts register+register memory addressing over a loop induction
+   variable into an incremented pointer with register+offset
+   addressing — the code shape of the paper's Figure 4b, where
+   [arr\[ind\[i\]\]]-style walks compile to
+
+     ld   r4, r17(0)
+     ...
+     add  r17, r17, 4
+
+   For each memory access in a loop whose address is
+   [Base_index (b, x)] with [b] invariant in the loop and [x] a basic
+   induction variable with constant step, a new pointer [p] is created:
+
+     preheader:          p = b + x
+     after x's update:   p = p + step
+
+   and the access is rewritten to [Base (p, 0)].  Because [p] is
+   bumped immediately after every update of [x], the invariant
+   [p = b + x] holds at every other program point, so the rewrite is
+   position-independent.  Accesses sharing the same (b, x) pair reuse
+   one pointer. *)
+
+module Ir = Elag_ir.Ir
+module Cfg = Elag_ir.Cfg
+module Dominators = Elag_ir.Dominators
+module Loops = Elag_ir.Loops
+module Liveness = Elag_ir.Liveness
+
+module SS = Loops.SS
+
+(* Basic induction variables, reusing the detector from
+   {!Strength_reduce}. *)
+let find_ivs = Strength_reduce.find_basic_ivs
+
+let loop_def_set (cfg : Cfg.t) (loop : Loops.loop) =
+  let tbl = Hashtbl.create 32 in
+  SS.iter
+    (fun label ->
+      List.iter
+        (fun inst -> List.iter (fun d -> Hashtbl.replace tbl d ()) (Ir.inst_defs inst))
+        (Cfg.block cfg label).Ir.insts)
+    loop.Loops.body;
+  tbl
+
+let run_loop (f : Ir.func) (loop : Loops.loop) =
+  let cfg = Cfg.of_func f in
+  if not (SS.for_all (Cfg.reachable cfg) loop.Loops.body) then false
+  else begin
+    let dom = Dominators.compute cfg in
+    let ivs = find_ivs cfg dom loop in
+    let defs_in_loop = loop_def_set cfg loop in
+    let invariant v = not (Hashtbl.mem defs_in_loop v) in
+    let iv_of x =
+      List.find_opt (fun (iv : Strength_reduce.basic_iv) -> iv.iv = x) ivs
+    in
+    (* pointer cache: (base, iv) -> pointer vreg.  Preheader inits and
+       post-update bumps are deferred until after the address rewrite,
+       because inserting into a block that is concurrently being
+       rebuilt would be lost. *)
+    let pointers = Hashtbl.create 8 in
+    let pending = ref [] in
+    let changed = ref false in
+    let pointer_for b (iv : Strength_reduce.basic_iv) =
+      match Hashtbl.find_opt pointers (b, iv.Strength_reduce.iv) with
+      | Some p -> p
+      | None ->
+        let p = Ir.fresh_vreg f in
+        Hashtbl.replace pointers (b, iv.Strength_reduce.iv) p;
+        pending := (p, b, iv) :: !pending;
+        p
+    in
+    let promote_addr = function
+      | Ir.Base_index (b, x) when invariant b -> begin
+        match iv_of x with
+        | Some iv ->
+          changed := true;
+          Ir.Base (pointer_for b iv, 0)
+        | None -> Ir.Base_index (b, x)
+      end
+      | addr -> addr
+    in
+    SS.iter
+      (fun label ->
+        let blk = Cfg.block cfg label in
+        blk.Ir.insts <-
+          List.map
+            (fun inst ->
+              match inst with
+              | Ir.Load l -> Ir.Load { l with addr = promote_addr l.addr }
+              | Ir.Store st -> Ir.Store { st with addr = promote_addr st.addr }
+              | other -> other)
+            blk.Ir.insts)
+      loop.Loops.body;
+    (* Phase 2: materialize preheader inits and post-update bumps. *)
+    List.iter
+      (fun (p, b, (iv : Strength_reduce.basic_iv)) ->
+        let pre = Licm.make_preheader f (Cfg.of_func f) loop in
+        pre.Ir.insts <-
+          pre.Ir.insts @ [ Ir.Bin (Ir.Add, p, Ir.Reg b, Ir.Reg iv.Strength_reduce.iv) ];
+        let upd_block = Ir.find_block f iv.Strength_reduce.update_block in
+        let bump = Ir.Bin (Ir.Add, p, Ir.Reg p, Ir.Imm iv.Strength_reduce.step) in
+        let rec insert_after = function
+          | [] ->
+            invalid_arg "Addr_promote: induction-variable update vanished"
+          | inst :: rest when inst == iv.Strength_reduce.update_inst ->
+            inst :: bump :: rest
+          | inst :: rest -> inst :: insert_after rest
+        in
+        upd_block.Ir.insts <- insert_after upd_block.Ir.insts)
+      !pending;
+    !changed
+  end
+
+let run (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  let dom = Dominators.compute cfg in
+  let loops = Loops.compute cfg dom in
+  List.fold_left (fun acc loop -> run_loop f loop || acc) false loops

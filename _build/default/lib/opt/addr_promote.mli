@@ -1,0 +1,8 @@
+(** Pointer induction-variable formation (address strength reduction):
+    rewrites register+register addressing over a loop induction
+    variable into an incremented pointer with register+offset
+    addressing — the code shape of the paper's Figure 4b
+    ([ld r4, r17(0)] ... [add r17, r17, 4]).  Register+offset mode is
+    what makes loads eligible for the early-calculation path. *)
+
+val run : Elag_ir.Ir.func -> bool

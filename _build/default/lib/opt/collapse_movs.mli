@@ -1,0 +1,6 @@
+(** Collapse adjacent [t = op ...; v = t] pairs where [t] is a
+    single-def single-use temporary, producing the compact two-address
+    shapes ([v = add v, 1], [p = ld [p+8]]) that induction-variable
+    detection and the paper's load-classification heuristics key on. *)
+
+val run : Elag_ir.Ir.func -> bool

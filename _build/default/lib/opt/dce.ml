@@ -1,0 +1,86 @@
+(* Dead-code elimination: removes pure instructions whose destination
+   is not live at the point of definition, using block-level liveness
+   refined instruction-by-instruction backwards. *)
+
+module Ir = Elag_ir.Ir
+module Cfg = Elag_ir.Cfg
+module Dominators = Elag_ir.Dominators
+module Loops = Elag_ir.Loops
+module Liveness = Elag_ir.Liveness
+
+module VS = Liveness.VS
+
+(* Kill dead induction cycles: a register whose every use occurs in
+   instructions that only define it (e.g. [v = v + 4] with no other
+   use) keeps itself alive under plain liveness; remove those
+   instructions explicitly. *)
+let kill_self_cycles (f : Ir.func) =
+  let self_uses = Hashtbl.create 16 in
+  let other_uses = Hashtbl.create 16 in
+  let bump tbl v = Hashtbl.replace tbl v (1 + Option.value (Hashtbl.find_opt tbl v) ~default:0) in
+  List.iter
+    (fun (b : Ir.block) ->
+      List.iter
+        (fun inst ->
+          let defs = Ir.inst_defs inst in
+          List.iter
+            (fun u -> if List.mem u defs then bump self_uses u else bump other_uses u)
+            (Ir.inst_uses inst))
+        b.Ir.insts;
+      List.iter (fun u -> bump other_uses u) (Ir.term_uses b.Ir.term))
+    f.Ir.blocks;
+  let dead v =
+    Hashtbl.mem self_uses v
+    && not (Hashtbl.mem other_uses v)
+    && not (List.mem v f.Ir.params)
+  in
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      b.Ir.insts <-
+        List.filter
+          (fun inst ->
+            let remove =
+              (not (Ir.has_side_effect inst))
+              && (match Ir.inst_defs inst with [ d ] -> dead d | _ -> false)
+            in
+            if remove then changed := true;
+            not remove)
+          b.Ir.insts)
+    f.Ir.blocks;
+  !changed
+
+let run (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  let live = Liveness.compute cfg in
+  let changed = ref false in
+  List.iter
+    (fun (b : Ir.block) ->
+      let live_set = ref (Liveness.live_out live b.label) in
+      (* also live: uses of the terminator *)
+      List.iter (fun v -> live_set := VS.add v !live_set) (Ir.term_uses b.term);
+      let kept =
+        List.fold_left
+          (fun acc inst ->
+            let defs = Ir.inst_defs inst in
+            let dead =
+              (not (Ir.has_side_effect inst))
+              && defs <> []
+              && List.for_all (fun d -> not (VS.mem d !live_set)) defs
+            in
+            if dead then begin
+              changed := true;
+              acc
+            end
+            else begin
+              List.iter (fun d -> live_set := VS.remove d !live_set) defs;
+              List.iter (fun u -> live_set := VS.add u !live_set) (Ir.inst_uses inst);
+              inst :: acc
+            end)
+          []
+          (List.rev b.insts)
+      in
+      b.insts <- kept)
+    f.Ir.blocks;
+  let killed = kill_self_cycles f in
+  !changed || killed

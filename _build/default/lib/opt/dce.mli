@@ -1,0 +1,5 @@
+(** Dead-code elimination: removes pure instructions whose destination
+    is not live at the point of definition, plus dead induction cycles
+    (registers kept alive only by their own update instructions). *)
+
+val run : Elag_ir.Ir.func -> bool

@@ -1,0 +1,7 @@
+(** Whole-function constant and copy propagation restricted to
+    single-definition virtual registers, where it is sound without
+    SSA: if [v] is defined exactly once as a constant (or as a copy of
+    another single-definition register), every use of [v] can be
+    substituted. *)
+
+val run : Elag_ir.Ir.func -> bool

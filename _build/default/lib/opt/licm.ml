@@ -1,0 +1,158 @@
+(* Loop-invariant code motion.
+
+   For every natural loop (inner-first) a preheader is created and
+   invariant instructions are hoisted into it.  An instruction is
+   hoisted when:
+   - it is pure (or a load, if the whole loop is free of stores and
+     calls — this doubles as cross-iteration redundant-load
+     elimination, one of the passes the paper's heuristics assume);
+   - every virtual register it reads has no definition inside the loop;
+   - its destination has exactly one definition inside the loop;
+   - its destination is not live on entry to the loop header (no use
+     before the definition inside the loop);
+   - its block dominates every latch (it executes on every iteration).  *)
+
+module Ir = Elag_ir.Ir
+module Cfg = Elag_ir.Cfg
+module Dominators = Elag_ir.Dominators
+module Loops = Elag_ir.Loops
+module Liveness = Elag_ir.Liveness
+
+module SS = Loops.SS
+module VS = Liveness.VS
+
+(* Create (or reuse) a preheader for [loop]: a block that becomes the
+   unique non-latch predecessor of the header. *)
+let ensure_preheader (_f : Ir.func) (cfg : Cfg.t) (loop : Loops.loop) =
+  let outside_preds =
+    List.filter (fun p -> not (SS.mem p loop.Loops.body)) (Cfg.preds cfg loop.Loops.header)
+  in
+  match outside_preds with
+  | [ single ] ->
+    let b = Cfg.block cfg single in
+    (* reuse it only if it unconditionally jumps to the header *)
+    (match b.Ir.term with Ir.Jmp _ -> Some b | _ -> None)
+  | _ -> None
+
+let rec make_preheader (f : Ir.func) (cfg : Cfg.t) (loop : Loops.loop) =
+  match ensure_preheader f cfg loop with
+  | Some b -> b
+  | None ->
+    let label = Ir.fresh_label f "preheader" in
+    let pre = { Ir.label; insts = []; term = Ir.Jmp loop.Loops.header } in
+    let retarget l = if l = loop.Loops.header then label else l in
+    List.iter
+      (fun (b : Ir.block) ->
+        if not (SS.mem b.Ir.label loop.Loops.body) then
+          b.Ir.term <-
+            (match b.Ir.term with
+            | Ir.Jmp l -> Ir.Jmp (retarget l)
+            | Ir.Br br -> Ir.Br { br with ifso = retarget br.ifso; ifnot = retarget br.ifnot }
+            | Ir.Ret _ as t -> t))
+      f.Ir.blocks;
+    (* keep entry block first: if the header was the entry, the
+       preheader becomes the new entry *)
+    if (Ir.entry_block f).Ir.label = loop.Loops.header then
+      f.Ir.blocks <- pre :: f.Ir.blocks
+    else f.Ir.blocks <- insert_before f.Ir.blocks loop.Loops.header pre;
+    pre
+
+and insert_before blocks label pre =
+  match blocks with
+  | [] -> [ pre ]
+  | b :: rest when b.Ir.label = label -> pre :: b :: rest
+  | b :: rest -> b :: insert_before rest label pre
+
+(* def counts inside the loop *)
+let loop_def_counts (cfg : Cfg.t) (loop : Loops.loop) =
+  let tbl = Hashtbl.create 32 in
+  SS.iter
+    (fun label ->
+      let b = Cfg.block cfg label in
+      List.iter
+        (fun inst ->
+          List.iter
+            (fun d ->
+              Hashtbl.replace tbl d (1 + Option.value (Hashtbl.find_opt tbl d) ~default:0))
+            (Ir.inst_defs inst))
+        b.Ir.insts)
+    loop.Loops.body;
+  tbl
+
+let loop_has_memory_clobber ?summaries (cfg : Cfg.t) (loop : Loops.loop) =
+  SS.exists
+    (fun label ->
+      let b = Cfg.block cfg label in
+      List.exists
+        (function
+          | Ir.Store _ -> true
+          | Ir.Call { callee; _ } -> begin
+            (* with interprocedural summaries, calls to functions that
+               never store do not clobber memory *)
+            match summaries with
+            | Some t -> (Purity.find t callee).Purity.writes_memory
+            | None -> true
+          end
+          | _ -> false)
+        b.Ir.insts)
+    loop.Loops.body
+
+let run_loop ?summaries (f : Ir.func) (loop : Loops.loop) =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let cfg = Cfg.of_func f in
+    if SS.for_all (fun l -> Cfg.reachable cfg l) loop.Loops.body then begin
+      let dom = Dominators.compute cfg in
+      let live = Liveness.compute cfg in
+      let def_counts = loop_def_counts cfg loop in
+      let defined_in_loop v = Hashtbl.mem def_counts v in
+      let single_def_in_loop v = Hashtbl.find_opt def_counts v = Some 1 in
+      let live_at_header = Liveness.live_in live loop.Loops.header in
+      let memory_clobbered = loop_has_memory_clobber ?summaries cfg loop in
+      let dominates_latches label =
+        List.for_all (fun latch -> Dominators.dominates dom label latch) loop.Loops.back_edges
+      in
+      let hoistable label inst =
+        let pure =
+          match inst with
+          | Ir.Bin _ | Ir.Mov _ | Ir.Global_addr _ | Ir.Slot_addr _ -> true
+          | Ir.Load _ -> not memory_clobbered
+          | Ir.Store _ | Ir.Call _ -> false
+        in
+        pure
+        && (match Ir.inst_defs inst with
+           | [ d ] ->
+             single_def_in_loop d
+             && (not (VS.mem d live_at_header))
+             && List.for_all (fun u -> not (defined_in_loop u)) (Ir.inst_uses inst)
+           | _ -> false)
+        && dominates_latches label
+      in
+      (* find one hoistable instruction, move it, restart *)
+      let moved = ref false in
+      SS.iter
+        (fun label ->
+          if not !moved then begin
+            let b = Cfg.block cfg label in
+            match List.find_opt (hoistable label) b.Ir.insts with
+            | Some inst ->
+              b.Ir.insts <- List.filter (fun i -> i != inst) b.Ir.insts;
+              let pre = make_preheader f (Cfg.of_func f) loop in
+              pre.Ir.insts <- pre.Ir.insts @ [ inst ];
+              moved := true;
+              changed := true;
+              continue_ := true
+            | None -> ()
+          end)
+        loop.Loops.body
+    end
+  done;
+  !changed
+
+let run ?summaries (f : Ir.func) =
+  let cfg = Cfg.of_func f in
+  let dom = Dominators.compute cfg in
+  let loops = Loops.compute cfg dom in
+  List.fold_left (fun acc loop -> run_loop ?summaries f loop || acc) false loops

@@ -1,0 +1,10 @@
+(** Per-basic-block optimization: constant folding and propagation,
+    copy propagation, common-subexpression elimination on pure
+    operations, store-to-load forwarding and redundant-load
+    elimination.
+
+    Folding uses the ISA's 32-bit ALU semantics ({!Elag_isa.Alu}), so
+    folded results always match execution. *)
+
+val run : Elag_ir.Ir.func -> bool
+(** Returns whether anything changed. *)

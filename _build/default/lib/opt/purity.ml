@@ -1,0 +1,117 @@
+(* Interprocedural function summaries — the "more aggressive compiler
+   analysis" the paper's conclusion calls for: a call left in a loop
+   (after inlining) otherwise forces every dependent load to be
+   classified conservatively, and blocks loop-invariant loads from
+   being hoisted.
+
+   Two facts are computed per function by a monotone fixpoint over the
+   call graph:
+
+   - [writes_memory]: the function (transitively) executes a store.
+     Calls to such functions clobber memory for redundant-load
+     elimination and LICM; calls to the others do not.
+   - [returns_loaded]: the function's return value may derive from a
+     load.  Only such calls need their destination added to the S_load
+     set of the classification heuristic (Section 4.1); a call that
+     returns pure arithmetic does not make dependent loads
+     "load-dependent".
+
+   Builtins (print_int, print_char, exit) neither write program-visible
+   memory nor return loaded values.  Unknown callees are conservative
+   on both facts. *)
+
+module Ir = Elag_ir.Ir
+
+type summary =
+  { writes_memory : bool
+  ; returns_loaded : bool }
+
+let conservative = { writes_memory = true; returns_loaded = true }
+
+let builtin_names = [ "print_int"; "print_char"; "exit" ]
+
+type t = (string, summary) Hashtbl.t
+
+let find (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some s -> s
+  | None ->
+    if List.mem name builtin_names then
+      { writes_memory = false; returns_loaded = false }
+    else conservative
+
+(* Does the function's return value derive from a load, given current
+   summaries for its callees? *)
+let returns_loaded_now summaries (f : Ir.func) =
+  let module VS = Set.Make (Int) in
+  let s = ref VS.empty in
+  let insts = List.concat_map (fun (b : Ir.block) -> b.Ir.insts) f.Ir.blocks in
+  List.iter
+    (fun inst ->
+      match inst with
+      | Ir.Load { dst; _ } -> s := VS.add dst !s
+      | Ir.Call { dst = Some d; callee; _ } ->
+        if (find summaries callee).returns_loaded then s := VS.add d !s
+      | _ -> ())
+    insts;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun inst ->
+        match inst with
+        | Ir.Bin (_, dst, _, _) | Ir.Mov (dst, _) ->
+          if
+            (not (VS.mem dst !s))
+            && List.exists (fun u -> VS.mem u !s) (Ir.inst_uses inst)
+          then begin
+            s := VS.add dst !s;
+            changed := true
+          end
+        | _ -> ())
+      insts
+  done;
+  List.exists
+    (fun (b : Ir.block) ->
+      match b.Ir.term with
+      | Ir.Ret (Some (Ir.Reg v)) -> VS.mem v !s
+      | _ -> false)
+    f.Ir.blocks
+
+let writes_memory_now summaries (f : Ir.func) =
+  List.exists
+    (fun (b : Ir.block) ->
+      List.exists
+        (fun inst ->
+          match inst with
+          | Ir.Store _ -> true
+          | Ir.Call { callee; _ } -> (find summaries callee).writes_memory
+          | _ -> false)
+        b.Ir.insts)
+    f.Ir.blocks
+
+(* Monotone fixpoint: facts start optimistic (false) and only flip to
+   true, so iteration terminates. *)
+let analyze (p : Ir.program) : t =
+  let t : t = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ir.func) ->
+      Hashtbl.replace t f.Ir.name { writes_memory = false; returns_loaded = false })
+    p.Ir.funcs;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Ir.func) ->
+        let cur = find t f.Ir.name in
+        let next =
+          { writes_memory = cur.writes_memory || writes_memory_now t f
+          ; returns_loaded = cur.returns_loaded || returns_loaded_now t f }
+        in
+        if next <> cur then begin
+          Hashtbl.replace t f.Ir.name next;
+          changed := true
+        end)
+      p.Ir.funcs
+  done;
+  t

@@ -1,0 +1,104 @@
+(* Control-flow cleanup:
+   - constant-condition branches become jumps;
+   - branches with identical arms become jumps;
+   - jumps to empty forwarding blocks are threaded;
+   - unreachable blocks are deleted;
+   - a block with a unique successor whose unique predecessor it is gets
+     merged with it. *)
+
+module Ir = Elag_ir.Ir
+module Cfg = Elag_ir.Cfg
+module Dominators = Elag_ir.Dominators
+module Loops = Elag_ir.Loops
+module Liveness = Elag_ir.Liveness
+
+let fold_branch (t : Ir.terminator) =
+  match t with
+  | Ir.Br { cond; src1 = Ir.Imm a; src2 = Ir.Imm b; ifso; ifnot } ->
+    let taken =
+      match cond with
+      | Elag_isa.Insn.Eq -> a = b
+      | Elag_isa.Insn.Ne -> a <> b
+      | Elag_isa.Insn.Lt -> a < b
+      | Elag_isa.Insn.Le -> a <= b
+      | Elag_isa.Insn.Gt -> a > b
+      | Elag_isa.Insn.Ge -> a >= b
+    in
+    Ir.Jmp (if taken then ifso else ifnot)
+  | Ir.Br { ifso; ifnot; _ } when ifso = ifnot -> Ir.Jmp ifso
+  | t -> t
+
+(* Follow chains of empty blocks that only jump onward. *)
+let thread_target f =
+  let forward = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Ir.block) ->
+      match (b.insts, b.term) with
+      | [], Ir.Jmp next when next <> b.label -> Hashtbl.replace forward b.label next
+      | _ -> ())
+    f.Ir.blocks;
+  let rec chase seen label =
+    if List.mem label seen then label
+    else
+      match Hashtbl.find_opt forward label with
+      | Some next -> chase (label :: seen) next
+      | None -> label
+  in
+  chase []
+
+let retarget_term thread = function
+  | Ir.Jmp l -> Ir.Jmp (thread l)
+  | Ir.Br b -> Ir.Br { b with ifso = thread b.ifso; ifnot = thread b.ifnot }
+  | Ir.Ret _ as t -> t
+
+let run (f : Ir.func) =
+  let changed = ref false in
+  (* 1. fold constant branches *)
+  List.iter
+    (fun (b : Ir.block) ->
+      let t' = fold_branch b.term in
+      if t' <> b.term then begin
+        b.term <- t';
+        changed := true
+      end)
+    f.Ir.blocks;
+  (* 2. thread forwarding blocks *)
+  let thread = thread_target f in
+  List.iter
+    (fun (b : Ir.block) ->
+      let t' = retarget_term thread b.term in
+      if t' <> b.term then begin
+        b.term <- t';
+        changed := true
+      end)
+    f.Ir.blocks;
+  (* 3. delete unreachable blocks *)
+  let cfg = Cfg.of_func f in
+  let reachable = List.filter (fun (b : Ir.block) -> Cfg.reachable cfg b.label) f.Ir.blocks in
+  if List.length reachable <> List.length f.Ir.blocks then begin
+    f.Ir.blocks <- reachable;
+    changed := true
+  end;
+  (* 4. merge straight-line pairs *)
+  let cfg = Cfg.of_func f in
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Ir.block) ->
+      if not (Hashtbl.mem merged b.label) then
+        match b.term with
+        | Ir.Jmp next when next <> b.label -> begin
+          match Cfg.preds cfg next with
+          | [ single ] when single = b.label && next <> (Ir.entry_block f).label ->
+            let nb = Cfg.block cfg next in
+            b.insts <- b.insts @ nb.Ir.insts;
+            b.term <- nb.Ir.term;
+            Hashtbl.replace merged next ();
+            changed := true
+          | _ -> ()
+        end
+        | _ -> ())
+    f.Ir.blocks;
+  if Hashtbl.length merged > 0 then
+    f.Ir.blocks <-
+      List.filter (fun (b : Ir.block) -> not (Hashtbl.mem merged b.label)) f.Ir.blocks;
+  !changed

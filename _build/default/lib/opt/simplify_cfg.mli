@@ -1,0 +1,6 @@
+(** Control-flow cleanup: constant-condition and same-target branches
+    become jumps, empty forwarding blocks are threaded, unreachable
+    blocks are deleted, and straight-line block pairs are merged. *)
+
+val run : Elag_ir.Ir.func -> bool
+(** Returns whether anything changed. *)

@@ -1,0 +1,16 @@
+(** Induction-variable strength reduction: [d = iv * k] (or
+    [iv << k]) inside a loop is replaced by an accumulator bumped by
+    [step * k] right after the induction variable's single update. *)
+
+type basic_iv =
+  { iv : Elag_ir.Ir.vreg
+  ; step : int
+  ; update_block : string
+  ; update_inst : Elag_ir.Ir.inst }
+
+val find_basic_ivs : Elag_ir.Cfg.t -> Elag_ir.Dominators.t -> Elag_ir.Loops.loop -> basic_iv list
+(** Registers whose only in-loop definition is a self-increment by a
+    constant, with the update dominating every latch.  Shared with
+    {!Addr_promote}. *)
+
+val run : Elag_ir.Ir.func -> bool

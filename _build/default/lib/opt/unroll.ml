@@ -1,0 +1,107 @@
+(* Loop unrolling (superblock-style, with exits kept live).
+
+   Innermost loops with a single latch get their body replicated
+   [factor] times; each copy's back edge is redirected to the next
+   copy's header, and the last copy closes the cycle.  Virtual
+   registers are shared between copies (the copies execute the same
+   code, so reuse is semantics-preserving in this non-SSA IR); only
+   labels are renamed.  Loop exits jump to their original targets from
+   every copy, so early exits remain correct.
+
+   This mirrors the IMPACT compiler's unrolling, and matters to the
+   paper's evaluation beyond performance: it multiplies the number of
+   static loads competing for address-prediction-table entries, which
+   is what makes table size and compiler filtering (Figure 5a)
+   observable effects. *)
+
+module Ir = Elag_ir.Ir
+module Cfg = Elag_ir.Cfg
+module Dominators = Elag_ir.Dominators
+module Loops = Elag_ir.Loops
+module Liveness = Elag_ir.Liveness
+
+module SS = Loops.SS
+
+let default_factor = 4
+let max_body_insts = 48
+let max_body_blocks = 8
+
+let body_size (cfg : Cfg.t) (loop : Loops.loop) =
+  SS.fold
+    (fun label acc -> acc + List.length (Cfg.block cfg label).Ir.insts)
+    loop.Loops.body 0
+
+let is_innermost (loops : Loops.loop list) (loop : Loops.loop) =
+  not
+    (List.exists
+       (fun (other : Loops.loop) ->
+         other.Loops.header <> loop.Loops.header
+         && SS.mem other.Loops.header loop.Loops.body)
+       loops)
+
+let unroll_loop (f : Ir.func) (cfg : Cfg.t) (loop : Loops.loop) ~factor =
+  match loop.Loops.back_edges with
+  | [ latch ] ->
+    let copy_label k label = Printf.sprintf "%s.u%d" label k in
+    let rename k label = if SS.mem label loop.Loops.body then copy_label k label else label in
+    let header = loop.Loops.header in
+    let copies = ref [] in
+    for k = 1 to factor - 1 do
+      SS.iter
+        (fun label ->
+          let b = Cfg.block cfg label in
+          let next_header =
+            if label = latch then
+              if k = factor - 1 then header else copy_label (k + 1) header
+            else ""
+          in
+          let rename_target tgt =
+            if label = latch && tgt = header then next_header else rename k tgt
+          in
+          let term =
+            match b.Ir.term with
+            | Ir.Jmp l -> Ir.Jmp (rename_target l)
+            | Ir.Br br ->
+              Ir.Br { br with ifso = rename_target br.ifso; ifnot = rename_target br.ifnot }
+            | Ir.Ret _ as t -> t
+          in
+          copies :=
+            { Ir.label = copy_label k label; insts = b.Ir.insts; term } :: !copies)
+        loop.Loops.body
+    done;
+    (* Redirect the original latch's back edge into the first copy. *)
+    let latch_block = Cfg.block cfg latch in
+    let redirect tgt = if tgt = header then copy_label 1 header else tgt in
+    latch_block.Ir.term <-
+      (match latch_block.Ir.term with
+      | Ir.Jmp l -> Ir.Jmp (redirect l)
+      | Ir.Br br -> Ir.Br { br with ifso = redirect br.ifso; ifnot = redirect br.ifnot }
+      | Ir.Ret _ as t -> t);
+    (* Copies share vregs with the original: instruction lists are
+       reused as-is.  Insert the copies right after the latch block. *)
+    let rec insert = function
+      | [] -> List.rev !copies
+      | b :: rest when b.Ir.label = latch -> (b :: List.rev !copies) @ rest
+      | b :: rest -> b :: insert rest
+    in
+    f.Ir.blocks <- insert f.Ir.blocks;
+    true
+  | _ -> false
+
+let run ?(factor = default_factor) (f : Ir.func) =
+  if factor < 2 then false
+  else begin
+    let cfg = Cfg.of_func f in
+    let dom = Dominators.compute cfg in
+    let loops = Loops.compute cfg dom in
+    let candidates =
+      List.filter
+        (fun loop ->
+          is_innermost loops loop
+          && List.length loop.Loops.back_edges = 1
+          && SS.cardinal loop.Loops.body <= max_body_blocks
+          && body_size cfg loop <= max_body_insts)
+        loops
+    in
+    List.fold_left (fun acc loop -> unroll_loop f cfg loop ~factor || acc) false candidates
+  end

@@ -1,0 +1,10 @@
+(** Loop unrolling (superblock-style, exits kept live).  Innermost
+    single-latch loops get their body replicated; virtual registers
+    are shared between copies (sound in this non-SSA IR), only labels
+    are renamed.  Beyond performance, unrolling multiplies the static
+    loads competing for prediction-table entries, which is what makes
+    table size and compiler filtering observable effects. *)
+
+val default_factor : int
+
+val run : ?factor:int -> Elag_ir.Ir.func -> bool

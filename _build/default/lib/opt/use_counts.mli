@@ -1,0 +1,9 @@
+(** Whole-function virtual-register use and definition counts, shared
+    by several passes. *)
+
+type t
+
+val compute : Elag_ir.Ir.func -> t
+
+val use_count : t -> Elag_ir.Ir.vreg -> int
+val def_count : t -> Elag_ir.Ir.vreg -> int

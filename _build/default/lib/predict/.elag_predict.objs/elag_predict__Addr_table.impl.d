@@ -1,0 +1,1 @@
+lib/predict/addr_table.ml: Array Stride_entry

@@ -1,0 +1,1 @@
+lib/predict/ideal.ml: Hashtbl List Stride_entry

@@ -1,0 +1,1 @@
+lib/predict/stride_entry.ml:

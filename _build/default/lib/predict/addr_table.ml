@@ -1,0 +1,62 @@
+(* PC-indexed, direct-mapped address prediction table (paper §3.2.2).
+
+   Each entry holds {tag, PA, ST, STC} driven by the Figure 3 state
+   machine.  A probe that misses makes no prediction; the entry is
+   (re)allocated at update time. *)
+
+type slot =
+  { mutable tag : int  (* -1 = invalid *)
+  ; entry : Stride_entry.t }
+
+type t =
+  { slots : slot array
+  ; mutable probes : int
+  ; mutable hits : int
+  ; mutable correct : int }
+
+let create entries =
+  if entries <= 0 then invalid_arg "Addr_table.create";
+  { slots =
+      Array.init entries (fun _ -> { tag = -1; entry = Stride_entry.allocate 0 })
+  ; probes = 0
+  ; hits = 0
+  ; correct = 0 }
+
+let size t = Array.length t.slots
+
+let index t pc = pc mod Array.length t.slots
+
+(* Pure tag check: [Some predicted_address] on a hit, no statistics. *)
+let peek t pc =
+  let slot = t.slots.(index t pc) in
+  if slot.tag = pc then Some (Stride_entry.predicted_address slot.entry) else None
+
+(* Probe at decode: [Some predicted_address] on a tag hit. *)
+let probe t pc =
+  t.probes <- t.probes + 1;
+  let slot = t.slots.(index t pc) in
+  if slot.tag = pc then begin
+    t.hits <- t.hits + 1;
+    Some (Stride_entry.predicted_address slot.entry)
+  end
+  else None
+
+(* Update at the MEM stage with the computed address; allocates or
+   replaces the entry on a tag mismatch.  Returns whether a previously
+   predicted address matched (for statistics). *)
+let update t pc ca =
+  let slot = t.slots.(index t pc) in
+  if slot.tag = pc then begin
+    let correct = Stride_entry.update slot.entry ca in
+    if correct then t.correct <- t.correct + 1;
+    correct
+  end
+  else begin
+    slot.tag <- pc;
+    Stride_entry.replace slot.entry ca;
+    false
+  end
+
+type stats = { st_probes : int; st_hits : int; st_correct : int }
+
+let stats t = { st_probes = t.probes; st_hits = t.hits; st_correct = t.correct }

@@ -1,0 +1,28 @@
+(** PC-indexed, direct-mapped address prediction table (paper §3.2.2).
+    Each entry holds \{tag, PA, ST, STC\} driven by the Figure 3 state
+    machine; a probe that misses makes no prediction, and entries are
+    (re)allocated at update time. *)
+
+type t
+
+val create : int -> t
+(** [create entries]; raises [Invalid_argument] on a non-positive
+    size. *)
+
+val size : t -> int
+
+val peek : t -> int -> int option
+(** Pure tag check: [Some predicted_address] on a hit.  No statistics;
+    used during issue-cycle search. *)
+
+val probe : t -> int -> int option
+(** Like {!peek} but counts a probe (the decode-stage access). *)
+
+val update : t -> int -> int -> bool
+(** [update t pc ca]: feed the computed address at the MEM stage;
+    allocates/replaces on tag mismatch.  Returns whether the predicted
+    address matched. *)
+
+type stats = { st_probes : int; st_hits : int; st_correct : int }
+
+val stats : t -> stats

@@ -1,0 +1,51 @@
+(* Base-register cache (BRIC) for the hardware-only early-calculation
+   baseline, after Austin & Sohi: an N-entry cache of base-register
+   identities whose values are kept coherent with the register file by
+   multicast writes.
+
+   Value coherence is modeled by the pipeline through the register
+   scoreboard (a cached value is stale exactly when a write to the
+   register is in flight), so the structure itself only tracks which
+   registers are resident, with LRU replacement, plus the cycle an
+   entry became resident (an entry allocated by this very load has no
+   value yet). *)
+
+type t =
+  { capacity : int
+  ; mutable resident : (int * int) list  (* (register, valid_from_cycle), MRU first *)
+  ; mutable probes : int
+  ; mutable hits : int }
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Bric.create";
+  { capacity; resident = []; probes = 0; hits = 0 }
+
+(* Pure hit test: resident with a usable value, no side effects. *)
+let peek t ~cycle reg =
+  match List.assoc_opt reg t.resident with
+  | Some valid_from -> cycle >= valid_from
+  | None -> false
+
+(* Probe for [reg] at [cycle]; allocates on miss (the entry's value
+   becomes usable next cycle, after the register file is read).
+   Returns true when the register was resident with a usable value. *)
+let probe t ~cycle reg =
+  t.probes <- t.probes + 1;
+  match List.assoc_opt reg t.resident with
+  | Some valid_from ->
+    (* refresh LRU position *)
+    t.resident <- (reg, valid_from) :: List.remove_assoc reg t.resident;
+    let usable = cycle >= valid_from in
+    if usable then t.hits <- t.hits + 1;
+    usable
+  | None ->
+    let trimmed =
+      if List.length t.resident >= t.capacity then
+        List.filteri (fun i _ -> i < t.capacity - 1) t.resident
+      else t.resident
+    in
+    t.resident <- (reg, cycle + 1) :: trimmed;
+    false
+
+let hit_rate t =
+  if t.probes = 0 then 0. else float_of_int t.hits /. float_of_int t.probes

@@ -1,0 +1,20 @@
+(** Base-register cache (BRIC) for the hardware-only early-calculation
+    baseline, after Austin & Sohi: an N-entry LRU cache of
+    base-register identities whose values are kept coherent with the
+    register file by multicast writes.  Value staleness is checked by
+    the pipeline through its scoreboard; the structure tracks residency
+    and the cycle an entry's value becomes usable. *)
+
+type t
+
+val create : int -> t
+(** Capacity in entries; raises [Invalid_argument] if non-positive. *)
+
+val peek : t -> cycle:int -> int -> bool
+(** Pure hit test: resident with a usable value. *)
+
+val probe : t -> cycle:int -> int -> bool
+(** Counted probe; allocates on a miss (the new entry's value is
+    usable from the next cycle) and refreshes LRU order on a hit. *)
+
+val hit_rate : t -> float

@@ -1,0 +1,20 @@
+(** Branch target buffer: direct-mapped, tagged, 2-bit saturating
+    counters (the paper's 1K-entry configuration).  Allocation happens
+    on taken branches only. *)
+
+type t
+
+type prediction = { pred_taken : bool; pred_target : int }
+
+val create : int -> t
+
+val predict : t -> int -> prediction
+(** Prediction for the control instruction at [pc]; a miss predicts
+    not-taken, falling through to [pc + 1]. *)
+
+val update : t -> int -> taken:bool -> target:int -> bool
+(** Resolve with the actual outcome, updating counters/target.
+    Returns whether the earlier prediction was correct (direction, and
+    target when taken). *)
+
+val misprediction_count : t -> int

@@ -1,0 +1,25 @@
+(** Unbounded per-PC stride predictor: the prediction-rate methodology
+    of the paper's Table 2 ("individual operation prediction ... not
+    affected by the limitations of a prediction cache").
+
+    Every static load gets its own Figure 3 state machine; a load's
+    prediction rate is the fraction of its dynamic executions whose
+    address was predicted correctly. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> pc:int -> ca:int -> unit
+(** Record one dynamic execution of the load at [pc] with computed
+    address [ca]. *)
+
+val rate : t -> int -> float option
+(** Prediction rate of the load at [pc]; [None] if never executed. *)
+
+val executions : t -> int -> int
+
+val aggregate_rate : t -> int list -> float option
+(** Dynamically-weighted prediction rate over a set of loads:
+    total correct / total executions. *)
+

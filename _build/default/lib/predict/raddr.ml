@@ -1,0 +1,39 @@
+(* The special addressing register R_addr (paper §3.2.1): a one-entry
+   cache bound to a single general-purpose register by each ld_e.
+
+   Binding to a *different* register makes the cached value unusable
+   until the next cycle (the paper's "binding has just been switched by
+   the current load" hazard); re-binding to the same register is free.
+   Value staleness from in-flight writes is checked by the pipeline
+   through its scoreboard (the R_addr interlock term). *)
+
+type t =
+  { mutable bound : int option
+  ; mutable valid_from : int
+  ; mutable probes : int
+  ; mutable hits : int }
+
+let create () = { bound = None; valid_from = 0; probes = 0; hits = 0 }
+
+(* Pure hit test, for evaluation during issue-cycle search; does not
+   touch statistics. *)
+let peek t ~cycle reg = t.bound = Some reg && cycle >= t.valid_from
+
+(* Probe for base register [reg] at [cycle]: true when R_addr is bound
+   to [reg] and the cached value is usable this cycle. *)
+let probe t ~cycle reg =
+  t.probes <- t.probes + 1;
+  let hit = t.bound = Some reg && cycle >= t.valid_from in
+  if hit then t.hits <- t.hits + 1;
+  hit
+
+(* Bind R_addr to [reg] (performed by every ld_e, and by the
+   hardware-selection baseline on every early-path load). *)
+let bind t ~cycle reg =
+  if t.bound <> Some reg then begin
+    t.bound <- Some reg;
+    t.valid_from <- cycle + 1
+  end
+
+let hit_rate t =
+  if t.probes = 0 then 0. else float_of_int t.hits /. float_of_int t.probes

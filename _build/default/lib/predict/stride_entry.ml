@@ -1,0 +1,54 @@
+(* One entry of the address-prediction state machine (paper Figure 3).
+
+   Two states: Functioning and Learning.  PA is the predicted address
+   for the next access, ST the observed stride, STC the
+   stride-confidence bit.  Except for a freshly allocated entry, stride
+   confidence is only rebuilt after the same stride is seen in two
+   consecutive instances of the load. *)
+
+type state = Functioning | Learning
+
+type t =
+  { mutable pa : int
+  ; mutable st : int
+  ; mutable stc : bool
+  ; mutable state : state }
+
+let allocate ca = { pa = ca; st = 0; stc = true; state = Functioning }
+
+(* Reinitialize in place (table entry replacement). *)
+let replace t ca =
+  t.pa <- ca;
+  t.st <- 0;
+  t.stc <- true;
+  t.state <- Functioning
+
+let predicted_address t = t.pa
+
+(* Feed the actual address [ca] observed at the MEM stage; returns
+   whether the prediction (PA made before this access) was correct. *)
+let update t ca =
+  let correct = t.pa = ca in
+  (match t.state with
+  | Functioning ->
+    if correct then t.pa <- ca + t.st (* Correct: PA <- CA+ST *)
+    else begin
+      (* New_Stride: learn a tentative stride *)
+      t.st <- ca - t.pa;
+      t.pa <- ca;
+      t.stc <- false;
+      t.state <- Learning
+    end
+  | Learning ->
+    if ca - t.pa = t.st then begin
+      (* Verified_Stride *)
+      t.pa <- ca + t.st;
+      t.stc <- true;
+      t.state <- Functioning
+    end
+    else begin
+      t.st <- ca - t.pa;
+      t.pa <- ca;
+      t.stc <- false
+    end);
+  correct

@@ -1,0 +1,28 @@
+(** One entry of the address-prediction state machine (paper
+    Figure 3).  Two states, Functioning and Learning: PA is the
+    predicted address for the next access, ST the observed stride, STC
+    the stride-confidence bit.  Except for freshly allocated entries,
+    stride confidence is only rebuilt after the same stride is seen in
+    two consecutive instances of the load. *)
+
+type state = Functioning | Learning
+
+type t =
+  { mutable pa : int
+  ; mutable st : int
+  ; mutable stc : bool
+  ; mutable state : state }
+
+val allocate : int -> t
+(** New entry for a load whose first computed address was [ca]:
+    functioning, PA=CA, ST=0, STC set. *)
+
+val replace : t -> int -> unit
+(** Reinitialize in place (table-entry replacement on a tag miss). *)
+
+val predicted_address : t -> int
+
+val update : t -> int -> bool
+(** Feed the computed address observed at the MEM stage; performs the
+    Figure 3 transition and returns whether the prior prediction was
+    correct (PA = CA). *)

@@ -1,0 +1,1 @@
+lib/sim/emulator.ml: Array Buffer Char Elag_isa Memory

@@ -1,0 +1,1 @@
+lib/sim/emulator.mli: Elag_isa

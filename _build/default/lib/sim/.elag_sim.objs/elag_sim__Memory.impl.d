@@ -1,0 +1,1 @@
+lib/sim/memory.ml: Bytes Char Elag_isa List String

@@ -1,0 +1,1 @@
+lib/sim/pipeline.ml: Array Cache Config Elag_isa Elag_predict Emulator List Option

@@ -1,0 +1,1 @@
+lib/sim/pipeline.mli: Config Elag_isa Elag_predict Emulator

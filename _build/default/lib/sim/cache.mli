@@ -1,0 +1,23 @@
+(** Set-associative cache model with LRU replacement (tags only —
+    data correctness is the emulator's job).  The paper's
+    configuration is direct-mapped ([ways = 1], the default); higher
+    associativity exists for the ablation benches. *)
+
+type t
+
+val create : ?ways:int -> size_bytes:int -> line_bytes:int -> unit -> t
+
+val probe : t -> int -> bool
+(** Pure hit test: no statistics, no fill.  Used when evaluating
+    speculative accesses during issue-cycle search. *)
+
+val access : t -> int -> bool
+(** Load-side access: counts, and fills the line on a miss. *)
+
+val access_store : t -> int -> bool
+(** Store-side access: write-through, no write-allocate. *)
+
+val miss_rate : t -> float
+
+val stats : t -> int * int
+(** (accesses, misses). *)

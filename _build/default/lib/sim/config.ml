@@ -1,0 +1,69 @@
+(* Machine configuration for the timing simulator.  Defaults follow the
+   paper's evaluation machine: 6-issue in-order, 4 integer ALUs, 2 data
+   cache ports, 1 branch unit, 64 KB direct-mapped I/D caches with 64 B
+   lines and a 12-cycle miss penalty, 1K-entry BTB with 2-bit counters,
+   PA-7100-like latencies (1-cycle integer ops, 2-cycle loads). *)
+
+type selection = Hardware_selected | Compiler_directed
+
+type mechanism =
+  | No_early
+    (** Baseline: no early address generation. *)
+  | Table_only of { entries : int; compiler_filtered : bool }
+    (** Figure 5a: address-prediction table only.  When
+        [compiler_filtered], only loads the compiler marked [ld_p] may
+        allocate entries; otherwise every load is treated as
+        predictable. *)
+  | Calc_only of { bric_entries : int }
+    (** Figure 5b: early address calculation only, with an N-entry
+        base-register cache; every register+offset load participates. *)
+  | Dual of { table_entries : int; selection : selection }
+    (** Figure 5c: both mechanisms.  [Compiler_directed] follows the
+        load opcode specifiers; [Hardware_selected] uses the
+        Eickemeyer–Vassiliadis run-time rule (base register interlocked
+        at decode => prediction table, otherwise early calculation). *)
+
+type t =
+  { issue_width : int
+  ; int_alus : int
+  ; mem_ports : int
+  ; branch_units : int
+  ; load_latency : int        (* cycles: address generation + cache *)
+  ; mul_latency : int
+  ; div_latency : int
+  ; miss_penalty : int
+  ; icache_bytes : int
+  ; dcache_bytes : int
+  ; line_bytes : int
+  ; cache_ways : int          (* 1 = direct-mapped, the paper's config *)
+  ; btb_entries : int
+  ; mispredict_penalty : int  (* front-end refill after EXE resolve *)
+  ; mechanism : mechanism }
+
+let default =
+  { issue_width = 6
+  ; int_alus = 4
+  ; mem_ports = 2
+  ; branch_units = 1
+  ; load_latency = 2
+  ; mul_latency = 3
+  ; div_latency = 8
+  ; miss_penalty = 12
+  ; icache_bytes = 64 * 1024
+  ; dcache_bytes = 64 * 1024
+  ; line_bytes = 64
+  ; cache_ways = 1
+  ; btb_entries = 1024
+  ; mispredict_penalty = 3
+  ; mechanism = No_early }
+
+let with_mechanism mechanism t = { t with mechanism }
+
+let mechanism_name = function
+  | No_early -> "baseline"
+  | Table_only { entries; compiler_filtered } ->
+    Printf.sprintf "table-%d%s" entries (if compiler_filtered then "-cc" else "-hw")
+  | Calc_only { bric_entries } -> Printf.sprintf "calc-%d" bric_entries
+  | Dual { table_entries; selection } ->
+    Printf.sprintf "dual-%d-%s" table_entries
+      (match selection with Hardware_selected -> "hw" | Compiler_directed -> "cc")

@@ -1,0 +1,139 @@
+(* Architectural emulator for EPA-32 programs.
+
+   Executes the committed path and reports every retired instruction to
+   an optional observer — this is the "emulation-driven" front of the
+   timing simulator: the pipeline model consumes the retirement stream
+   and needs no speculative-state recovery of its own. *)
+
+module Insn = Elag_isa.Insn
+module Reg = Elag_isa.Reg
+module Alu = Elag_isa.Alu
+module Program = Elag_isa.Program
+module Layout = Elag_isa.Layout
+
+exception Runaway of int
+(** Raised when the instruction budget is exhausted (runaway loop). *)
+
+exception Bad_jump of int
+
+type t =
+  { program : Program.t
+  ; memory : Memory.t
+  ; regs : int array
+  ; mutable pc : int
+  ; mutable halted : bool
+  ; mutable retired : int
+  ; output : Buffer.t }
+
+(* An observer receives (pc, insn, effective_address, taken, next_pc)
+   for every retired instruction.  [effective_address] is meaningful
+   for loads and stores only; [taken] for control transfers. *)
+type observer = int -> Insn.t -> int -> bool -> int -> unit
+
+let create ?memory_size (program : Program.t) =
+  let memory = Memory.create ?size:memory_size () in
+  Memory.load_image memory (Program.data_image program);
+  (* publish the heap base in the reserved slot below the data
+     segment, where the workloads' allocator reads it *)
+  Memory.write_word memory Layout.heap_pointer_slot (Program.heap_base program);
+  { program
+  ; memory
+  ; regs = Array.make Reg.count 0
+  ; pc = Program.entry program
+  ; halted = false
+  ; retired = 0
+  ; output = Buffer.create 256 }
+
+let output t = Buffer.contents t.output
+
+let retired t = t.retired
+
+let effective_address regs = function
+  | Insn.Base_offset (b, off) -> Array.unsafe_get regs b + off
+  | Insn.Base_index (b, i) -> Array.unsafe_get regs b + Array.unsafe_get regs i
+  | Insn.Absolute a -> a
+
+let default_max_insns = 400_000_000
+
+let no_observer : observer = fun _ _ _ _ _ -> ()
+
+let run ?(observer = no_observer) ?(max_insns = default_max_insns) t =
+  let regs = t.regs in
+  let mem = t.memory in
+  let code_len = Program.length t.program in
+  let set r v = if r <> Reg.zero then Array.unsafe_set regs r v in
+  while not t.halted do
+    if t.retired >= max_insns then raise (Runaway t.retired);
+    let pc = t.pc in
+    if pc < 0 || pc >= code_len then raise (Bad_jump pc);
+    let insn = Program.insn t.program pc in
+    let next = pc + 1 in
+    let eff = ref 0 in
+    let taken = ref false in
+    let next_pc = ref next in
+    (match insn with
+    | Insn.Alu { op; dst; src1; src2 } ->
+      let a = Array.unsafe_get regs src1 in
+      let b = match src2 with Insn.R r -> Array.unsafe_get regs r | Insn.I n -> n in
+      set dst (Alu.eval op a b)
+    | Insn.Li { dst; imm } -> set dst (Alu.norm imm)
+    | Insn.Load { size; sign; dst; addr; _ } ->
+      let a = effective_address regs addr in
+      eff := a;
+      let v =
+        match (size, sign) with
+        | Insn.Byte, Insn.Unsigned -> Memory.read_byte_u mem a
+        | Insn.Byte, Insn.Signed -> Memory.read_byte_s mem a
+        | Insn.Half, Insn.Unsigned -> Memory.read_half_u mem a
+        | Insn.Half, Insn.Signed -> Memory.read_half_s mem a
+        | Insn.Word, _ -> Memory.read_word mem a
+      in
+      set dst v
+    | Insn.Store { size; src; addr } ->
+      let a = effective_address regs addr in
+      eff := a;
+      let v = Array.unsafe_get regs src in
+      (match size with
+      | Insn.Byte -> Memory.write_byte mem a v
+      | Insn.Half -> Memory.write_half mem a v
+      | Insn.Word -> Memory.write_word mem a v)
+    | Insn.Branch { cond; src1; src2; _ } ->
+      let a = Array.unsafe_get regs src1 in
+      let b = match src2 with Insn.R r -> Array.unsafe_get regs r | Insn.I n -> n in
+      if Alu.eval_cond cond a b then begin
+        taken := true;
+        next_pc := Program.target t.program pc
+      end
+    | Insn.Jump _ ->
+      taken := true;
+      next_pc := Program.target t.program pc
+    | Insn.Jal _ ->
+      set Reg.ra next;
+      taken := true;
+      next_pc := Program.target t.program pc
+    | Insn.Jalr r ->
+      let target = Array.unsafe_get regs r in
+      set Reg.ra next;
+      taken := true;
+      next_pc := target
+    | Insn.Jr r ->
+      taken := true;
+      next_pc := Array.unsafe_get regs r
+    | Insn.Syscall Insn.Print_int ->
+      Buffer.add_string t.output (string_of_int regs.(Reg.arg_first));
+      Buffer.add_char t.output '\n'
+    | Insn.Syscall Insn.Print_char ->
+      Buffer.add_char t.output (Char.chr (regs.(Reg.arg_first) land 0xff))
+    | Insn.Syscall Insn.Exit -> t.halted <- true
+    | Insn.Nop -> ()
+    | Insn.Halt -> t.halted <- true);
+    t.retired <- t.retired + 1;
+    observer pc insn !eff !taken !next_pc;
+    t.pc <- !next_pc
+  done
+
+(* Convenience: assemble-run and return the printed output. *)
+let run_program ?observer ?max_insns ?memory_size program =
+  let t = create ?memory_size program in
+  run ?observer ?max_insns t;
+  t

@@ -1,0 +1,40 @@
+(** Architectural emulator for EPA-32 programs.
+
+    Executes the committed path and reports every retired instruction
+    to an optional observer — the "emulation-driven" front of the
+    timing simulator: the pipeline model consumes the retirement
+    stream and needs no speculative-state recovery of its own.
+
+    On creation the data image is loaded and the heap base is
+    published in the reserved word at {!Elag_isa.Layout.heap_pointer_slot},
+    where the workload runtime's allocator reads it. *)
+
+exception Runaway of int
+(** The instruction budget was exhausted (runaway loop). *)
+
+exception Bad_jump of int
+(** Control transferred outside the code segment. *)
+
+type t
+
+type observer = int -> Elag_isa.Insn.t -> int -> bool -> int -> unit
+(** [observer pc insn effective_address taken next_pc], called after
+    each instruction retires.  [effective_address] is meaningful for
+    memory operations, [taken] for control transfers. *)
+
+val create : ?memory_size:int -> Elag_isa.Program.t -> t
+
+val run : ?observer:observer -> ?max_insns:int -> t -> unit
+(** Run to [Halt]/[exit]; raises {!Runaway} past [max_insns]
+    (default 400M). *)
+
+val run_program :
+  ?observer:observer -> ?max_insns:int -> ?memory_size:int ->
+  Elag_isa.Program.t -> t
+(** Create and run in one step; returns the finished emulator. *)
+
+val output : t -> string
+(** Everything the program printed. *)
+
+val retired : t -> int
+(** Dynamic instruction count. *)

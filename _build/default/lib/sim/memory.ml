@@ -1,0 +1,65 @@
+(* Flat little-endian byte-addressable memory. *)
+
+type t =
+  { bytes : Bytes.t
+  ; size : int }
+
+exception Fault of int
+
+let default_size = 16 * 1024 * 1024
+
+let create ?(size = default_size) () = { bytes = Bytes.make size '\000'; size }
+
+let size t = t.size
+
+let check t addr n = if addr < 0 || addr + n > t.size then raise (Fault addr)
+
+let read_byte_u t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.bytes addr)
+
+let read_byte_s t addr =
+  let v = read_byte_u t addr in
+  if v >= 0x80 then v - 0x100 else v
+
+let read_half_u t addr =
+  check t addr 2;
+  Char.code (Bytes.unsafe_get t.bytes addr)
+  lor (Char.code (Bytes.unsafe_get t.bytes (addr + 1)) lsl 8)
+
+let read_half_s t addr =
+  let v = read_half_u t addr in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let read_word t addr =
+  check t addr 4;
+  let v =
+    Char.code (Bytes.unsafe_get t.bytes addr)
+    lor (Char.code (Bytes.unsafe_get t.bytes (addr + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get t.bytes (addr + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get t.bytes (addr + 3)) lsl 24)
+  in
+  Elag_isa.Alu.norm v
+
+let write_byte t addr v =
+  check t addr 1;
+  Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (v land 0xff))
+
+let write_half t addr v =
+  check t addr 2;
+  Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set t.bytes (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xff))
+
+let write_word t addr v =
+  check t addr 4;
+  Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (v land 0xff));
+  Bytes.unsafe_set t.bytes (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set t.bytes (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set t.bytes (addr + 3) (Char.unsafe_chr ((v asr 24) land 0xff))
+
+let load_image t image =
+  List.iter
+    (fun (addr, bytes) ->
+      check t addr (String.length bytes);
+      Bytes.blit_string bytes 0 t.bytes addr (String.length bytes))
+    image

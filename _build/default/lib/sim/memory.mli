@@ -1,0 +1,28 @@
+(** Flat little-endian byte-addressable memory. *)
+
+type t
+
+exception Fault of int
+(** Raised on out-of-range accesses, carrying the faulting address. *)
+
+val default_size : int
+(** 16 MiB. *)
+
+val create : ?size:int -> unit -> t
+
+val size : t -> int
+
+val read_byte_u : t -> int -> int
+val read_byte_s : t -> int -> int
+val read_half_u : t -> int -> int
+val read_half_s : t -> int -> int
+
+val read_word : t -> int -> int
+(** Normalized to the signed 32-bit range. *)
+
+val write_byte : t -> int -> int -> unit
+val write_half : t -> int -> int -> unit
+val write_word : t -> int -> int -> unit
+
+val load_image : t -> (int * string) list -> unit
+(** Blit an initial data image (address, bytes) into memory. *)

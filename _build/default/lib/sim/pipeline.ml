@@ -1,0 +1,466 @@
+(* Cycle-based timing model of the six-stage in-order superscalar
+   pipeline (IF ID1 ID2 EXE MEM WB) with dual early-address-generation
+   support.
+
+   The model is emulation-driven: it consumes the retirement stream
+   from {!Emulator} in program order and computes the issue cycle of
+   every instruction subject to issue width, functional-unit limits,
+   operand readiness (full bypass), data-cache ports, branch
+   prediction, and cache misses.
+
+   Timing conventions — an instruction issued at cycle [c] occupies
+   ID1 at [c-2], ID2 at [c-1], EXE at [c], MEM at [c+1]:
+   - ALU results feed dependents issued at [c+1];
+   - a normal load's value feeds dependents at [c+2] (the one-cycle
+     load-use stall of Figure 1a), plus 12 cycles on a D-cache miss;
+   - an [ld_p] speculative access probes the table in ID1 and accesses
+     the cache in ID2 ([c-1]); verified against the computed address at
+     the end of EXE, a correct prediction feeds dependents at [c+1]
+     (latency 1);
+   - an [ld_e] access computes R_addr+offset in ID1 and accesses the
+     cache in ID2; since no late verification is needed, a successful
+     access feeds dependents at [c] (latency 0);
+   - speculative accesses consume a data-cache port at [c-1]; wrong
+     speculation wastes only that bandwidth (the paper's "extra load"). *)
+
+module Insn = Elag_isa.Insn
+module Reg = Elag_isa.Reg
+module Addr_table = Elag_predict.Addr_table
+module Bric = Elag_predict.Bric
+module Raddr = Elag_predict.Raddr
+module Btb = Elag_predict.Btb
+
+type stats =
+  { mutable cycles : int
+  ; mutable instructions : int
+  ; mutable loads : int
+  ; mutable stores : int
+  ; mutable loads_n : int
+  ; mutable loads_p : int
+  ; mutable loads_e : int
+  ; mutable table_attempts : int  (* speculative accesses via the table *)
+  ; mutable table_successes : int
+  ; mutable calc_attempts : int   (* speculative accesses via early calc *)
+  ; mutable calc_successes : int
+  ; mutable wasted_spec : int     (* dispatched but not forwarded *)
+  ; mutable load_latency_sum : int
+  ; mutable icache_misses : int
+  ; mutable dcache_accesses : int
+  ; mutable dcache_misses : int
+  ; mutable btb_mispredicts : int }
+
+let fresh_stats () =
+  { cycles = 0; instructions = 0; loads = 0; stores = 0
+  ; loads_n = 0; loads_p = 0; loads_e = 0
+  ; table_attempts = 0; table_successes = 0
+  ; calc_attempts = 0; calc_successes = 0
+  ; wasted_spec = 0; load_latency_sum = 0
+  ; icache_misses = 0; dcache_accesses = 0; dcache_misses = 0
+  ; btb_mispredicts = 0 }
+
+let ring_size = 1024
+let ring_mask = ring_size - 1
+
+type t =
+  { cfg : Config.t
+  ; icache : Cache.t
+  ; dcache : Cache.t
+  ; btb : Btb.t
+  ; table : Addr_table.t option
+  ; bric : Bric.t option
+  ; raddr : Raddr.t option
+  ; reg_ready : int array
+  ; port_cycle : int array  (* ring: which cycle this slot describes *)
+  ; port_count : int array
+  ; mutable cur_cycle : int
+  ; mutable slots_used : int
+  ; mutable alus_used : int
+  ; mutable branches_used : int
+  ; mutable fetch_ready : int
+  ; mutable stores_in_flight : (int * int * int) list  (* issue cycle, addr, bytes *)
+  ; mutable tracer : (int -> Insn.t -> int -> int -> unit) option
+    (* pc, insn, issue cycle, result latency — for visualization *)
+  ; stats : stats }
+
+let create (cfg : Config.t) =
+  let table =
+    match cfg.mechanism with
+    | Config.Table_only { entries; _ } -> Some (Addr_table.create entries)
+    | Config.Dual { table_entries; _ } -> Some (Addr_table.create table_entries)
+    | _ -> None
+  in
+  let bric =
+    match cfg.mechanism with
+    | Config.Calc_only { bric_entries } -> Some (Bric.create bric_entries)
+    | _ -> None
+  in
+  let raddr =
+    match cfg.mechanism with Config.Dual _ -> Some (Raddr.create ()) | _ -> None
+  in
+  { cfg
+  ; icache =
+      Cache.create ~ways:cfg.cache_ways ~size_bytes:cfg.icache_bytes
+        ~line_bytes:cfg.line_bytes ()
+  ; dcache =
+      Cache.create ~ways:cfg.cache_ways ~size_bytes:cfg.dcache_bytes
+        ~line_bytes:cfg.line_bytes ()
+  ; btb = Btb.create cfg.btb_entries
+  ; table
+  ; bric
+  ; raddr
+  ; reg_ready = Array.make Reg.count 0
+  ; port_cycle = Array.make ring_size (-1)
+  ; port_count = Array.make ring_size 0
+  ; cur_cycle = 4  (* leave room for stage offsets at startup *)
+  ; slots_used = 0
+  ; alus_used = 0
+  ; branches_used = 0
+  ; fetch_ready = 4
+  ; stores_in_flight = []
+  ; tracer = None
+  ; stats = fresh_stats () }
+
+(* --- data-cache port ring ------------------------------------------- *)
+
+let ports_used t cycle =
+  let i = cycle land ring_mask in
+  if t.port_cycle.(i) = cycle then t.port_count.(i) else 0
+
+let port_free t cycle = ports_used t cycle < t.cfg.mem_ports
+
+let book_port t cycle =
+  let i = cycle land ring_mask in
+  if t.port_cycle.(i) <> cycle then begin
+    t.port_cycle.(i) <- cycle;
+    t.port_count.(i) <- 0
+  end;
+  t.port_count.(i) <- t.port_count.(i) + 1
+
+(* --- store interlocks ------------------------------------------------ *)
+
+let overlap a1 n1 a2 n2 = not (a1 + n1 <= a2 || a2 + n2 <= a1)
+
+(* Conservative memory interlock for a speculative access reading the
+   cache during cycle [read_cycle]: a store issued at [read_cycle] or
+   later has an unresolved address (interlock); one issued the cycle
+   before races with the read and interlocks when the ranges overlap;
+   older stores have completed their write-through. *)
+let mem_interlock t ~read_cycle spec_addr spec_bytes =
+  t.stores_in_flight <-
+    List.filter (fun (cs, _, _) -> cs >= read_cycle - 1) t.stores_in_flight;
+  List.exists
+    (fun (cs, addr, bytes) ->
+      cs >= read_cycle || overlap addr bytes spec_addr spec_bytes)
+    t.stores_in_flight
+
+(* --- issue-cycle bookkeeping ----------------------------------------- *)
+
+let advance_to t c =
+  if c > t.cur_cycle then begin
+    t.cur_cycle <- c;
+    t.slots_used <- 0;
+    t.alus_used <- 0;
+    t.branches_used <- 0
+  end
+
+let structural_ok t c ~alu ~branch =
+  if c > t.cur_cycle then true
+  else
+    t.slots_used < t.cfg.issue_width
+    && ((not alu) || t.alus_used < t.cfg.int_alus)
+    && ((not branch) || t.branches_used < t.cfg.branch_units)
+
+(* --- speculation evaluation ------------------------------------------ *)
+
+type spec_eval =
+  { dispatched : bool
+  ; access_cycle : int  (* cycle the speculative cache access occupies *)
+  ; success : bool
+  ; success_latency : int
+  ; path : [ `Table | `Calc | `None ] }
+
+let no_spec =
+  { dispatched = false; access_cycle = 0; success = false; success_latency = 0
+  ; path = `None }
+
+let base_register = function
+  | Insn.Base_offset (b, _) -> Some b
+  | Insn.Base_index _ | Insn.Absolute _ -> None
+
+(* Early-calculation timing is elastic in an in-order pipeline: the
+   dedicated adder computes base+offset during the first cycle the base
+   value is visible to R_addr/BRIC (never earlier than the load's ID1),
+   and the speculative access goes out the following cycle.  The early
+   path is profitable only when that access completes no later than the
+   EXE stage of the load itself; a base register that becomes ready
+   exactly at EXE (the paper's Figure 1c worst case) gains nothing and
+   is suppressed as an R_addr interlock. *)
+let calc_access_cycle t c base = 1 + max (c - 2) t.reg_ready.(base)
+
+(* Pure evaluation of the speculative path at candidate issue cycle
+   [c].  [prediction] is the table's predicted address (peeked once per
+   load, before the search). *)
+let eval_spec t c ~path ~prediction ~eff ~bytes ~addr_mode =
+  match path with
+  | `None -> no_spec
+  | `Table -> begin
+    match prediction with
+    | None -> no_spec
+    | Some pa ->
+      (* PC-indexed prediction is available at ID1; the speculative
+         access occupies the cache during ID2 and is verified against
+         the computed address at the end of EXE: latency 1. *)
+      let access_cycle = c - 1 in
+      if not (port_free t access_cycle) then no_spec
+      else
+        let success =
+          pa = eff
+          && Cache.probe t.dcache pa
+          && not (mem_interlock t ~read_cycle:access_cycle pa bytes)
+        in
+        { dispatched = true; access_cycle; success; success_latency = 1
+        ; path = `Table }
+  end
+  | `Calc -> begin
+    match base_register addr_mode with
+    | None -> no_spec
+    | Some base ->
+      let structure_hit =
+        match (t.raddr, t.bric) with
+        | Some r, _ -> Raddr.peek r ~cycle:(c - 2) base
+        | None, Some b -> Bric.peek b ~cycle:(c - 2) base
+        | None, None -> false
+      in
+      let access_cycle = calc_access_cycle t c base in
+      if not (structure_hit && access_cycle <= c && port_free t access_cycle)
+      then no_spec
+      else
+        let success =
+          Cache.probe t.dcache eff
+          && not (mem_interlock t ~read_cycle:access_cycle eff bytes)
+        in
+        { dispatched = true; access_cycle; success
+        ; success_latency = max 0 (access_cycle + 1 - c); path = `Calc }
+  end
+
+(* Which early path does this load take under the configured
+   mechanism? *)
+let select_path t c insn_spec addr_mode =
+  match t.cfg.mechanism with
+  | Config.No_early -> (`None, false)
+  | Config.Table_only { compiler_filtered; _ } ->
+    if (not compiler_filtered) || insn_spec = Insn.Ld_p then (`Table, true)
+    else (`None, false)
+  | Config.Calc_only _ -> (`Calc, false)
+  | Config.Dual { selection = Config.Compiler_directed; _ } -> begin
+    match insn_spec with
+    | Insn.Ld_p -> (`Table, true)
+    | Insn.Ld_e -> (`Calc, false)
+    | Insn.Ld_n -> (`None, false)
+  end
+  | Config.Dual { selection = Config.Hardware_selected; _ } -> begin
+    (* Run-time selection over the same hardware (Eickemeyer–
+       Vassiliadis rule): a base register interlocked at decode sends
+       the load to the prediction table (allocating an entry);
+       otherwise it takes the early-calculation path through R_addr,
+       rebinding it.  With no compiler guidance, every calc-path load
+       competes for the single R_addr binding. *)
+    match base_register addr_mode with
+    | None -> (`Table, true)
+    | Some base ->
+      if t.reg_ready.(base) <= c - 2 then (`Calc, false) else (`Table, true)
+  end
+
+(* --- per-instruction processing --------------------------------------- *)
+
+let count_load_spec stats = function
+  | Insn.Ld_n -> stats.loads_n <- stats.loads_n + 1
+  | Insn.Ld_p -> stats.loads_p <- stats.loads_p + 1
+  | Insn.Ld_e -> stats.loads_e <- stats.loads_e + 1
+
+let process t pc insn eff taken next_pc =
+  let s = t.stats in
+  s.instructions <- s.instructions + 1;
+  (* instruction fetch *)
+  if not (Cache.access t.icache (pc lsl 2)) then begin
+    s.icache_misses <- s.icache_misses + 1;
+    t.fetch_ready <- max t.fetch_ready t.cur_cycle + t.cfg.miss_penalty
+  end;
+  let alu =
+    match insn with
+    | Insn.Alu _ | Insn.Li _ | Insn.Syscall _ | Insn.Nop | Insn.Halt -> true
+    | _ -> false
+  in
+  let branch = Insn.is_branch insn in
+  let is_load = Insn.is_load insn in
+  let is_store = Insn.is_store insn in
+  let sources_ready =
+    List.fold_left (fun acc r -> max acc t.reg_ready.(r)) 0 (Insn.uses insn)
+  in
+  let c0 = max (max t.fetch_ready sources_ready) t.cur_cycle in
+  (* table probe happens once per load (counts in table stats) *)
+  let load_info =
+    if is_load then
+      match insn with
+      | Insn.Load { spec; size; addr; _ } -> Some (spec, Insn.size_bytes size, addr)
+      | _ -> None
+    else None
+  in
+  (* search for the issue cycle *)
+  let rec find c =
+    if not (structural_ok t c ~alu ~branch) then find (c + 1)
+    else if is_store then
+      if port_free t (c + 1) then (c, no_spec) else find (c + 1)
+    else if is_load then begin
+      match load_info with
+      | None -> (c, no_spec)
+      | Some (spec, bytes, addr_mode) ->
+        let path, _ = select_path t c spec addr_mode in
+        let prediction =
+          match (path, t.table) with
+          | `Table, Some table -> begin
+            (* pure peek at the table entry: direct-mapped tag match *)
+            match Addr_table.peek table pc with
+            | Some pa -> Some pa
+            | None -> None
+          end
+          | _ -> None
+        in
+        let ev = eval_spec t c ~path ~prediction ~eff ~bytes ~addr_mode in
+        if ev.success then (c, ev)
+        else if port_free t (c + 1) then (c, ev)
+        else find (c + 1)
+    end
+    else (c, no_spec)
+  in
+  let c, ev = find c0 in
+  advance_to t c;
+  t.slots_used <- t.slots_used + 1;
+  if alu then t.alus_used <- t.alus_used + 1;
+  if branch then t.branches_used <- t.branches_used + 1;
+  (* defaults *)
+  let latency = ref 1 in
+  (match insn with
+  | Insn.Alu { op = Insn.Mul; _ } -> latency := t.cfg.mul_latency
+  | Insn.Alu { op = Insn.Div | Insn.Rem; _ } -> latency := t.cfg.div_latency
+  | _ -> ());
+  (* loads *)
+  (match load_info with
+  | Some (spec, _bytes, addr_mode) ->
+    s.loads <- s.loads + 1;
+    count_load_spec s spec;
+    let path, updates_table = select_path t c spec addr_mode in
+    (* commit structure probes/bindings *)
+    (match (path, base_register addr_mode) with
+    | `Calc, Some base -> begin
+      match (t.raddr, t.bric) with
+      | Some r, _ ->
+        ignore (Raddr.probe r ~cycle:(c - 2) base);
+        Raddr.bind r ~cycle:(c - 2) base
+      | None, Some b -> ignore (Bric.probe b ~cycle:(c - 2) base)
+      | None, None -> ()
+    end
+    | (`Calc | `Table | `None), _ -> ());
+    (* speculative dispatch effects *)
+    let spec_missed_same_line = ref false in
+    if ev.dispatched then begin
+      book_port t ev.access_cycle;
+      s.dcache_accesses <- s.dcache_accesses + 1;
+      (* the speculative access touches the cache with its (possibly
+         wrong) address; for the table path that is the prediction *)
+      let spec_addr =
+        match ev.path with
+        | `Table -> (match t.table with
+                     | Some table -> (match Addr_table.peek table pc with
+                                      | Some pa -> pa
+                                      | None -> eff)
+                     | None -> eff)
+        | _ -> eff
+      in
+      let spec_hit = Cache.access t.dcache spec_addr in
+      if not spec_hit then begin
+        s.dcache_misses <- s.dcache_misses + 1;
+        (* a correct-address speculative miss starts the fill early;
+           the normal access below merges with the in-flight fill *)
+        if spec_addr lsr 6 = eff lsr 6 then spec_missed_same_line := true
+      end;
+      (match ev.path with
+      | `Table ->
+        s.table_attempts <- s.table_attempts + 1;
+        if ev.success then s.table_successes <- s.table_successes + 1
+      | `Calc ->
+        s.calc_attempts <- s.calc_attempts + 1;
+        if ev.success then s.calc_successes <- s.calc_successes + 1
+      | `None -> ());
+      if not ev.success then s.wasted_spec <- s.wasted_spec + 1
+    end;
+    let lat =
+      if ev.success then ev.success_latency
+      else begin
+        (* normal path: cache access at MEM *)
+        book_port t (c + 1);
+        s.dcache_accesses <- s.dcache_accesses + 1;
+        let hit = Cache.access t.dcache eff in
+        if not hit then s.dcache_misses <- s.dcache_misses + 1;
+        if hit && !spec_missed_same_line then
+          (* merge with the fill the speculative access initiated *)
+          t.cfg.load_latency
+          + max 0 (t.cfg.miss_penalty - (c + 1 - ev.access_cycle))
+        else t.cfg.load_latency + (if hit then 0 else t.cfg.miss_penalty)
+      end
+    in
+    s.load_latency_sum <- s.load_latency_sum + lat;
+    latency := lat;
+    (* the table entry is updated at MEM with the computed address *)
+    (match (t.table, updates_table) with
+    | Some table, true -> ignore (Addr_table.update table pc eff)
+    | _ -> ())
+  | None -> ());
+  (* stores *)
+  if is_store then begin
+    s.stores <- s.stores + 1;
+    book_port t (c + 1);
+    s.dcache_accesses <- s.dcache_accesses + 1;
+    if not (Cache.access_store t.dcache eff) then
+      s.dcache_misses <- s.dcache_misses + 1;
+    let bytes =
+      match insn with Insn.Store { size; _ } -> Insn.size_bytes size | _ -> 4
+    in
+    t.stores_in_flight <- (c, eff, bytes) :: t.stores_in_flight
+  end;
+  (* control flow *)
+  (match insn with
+  | Insn.Branch _ | Insn.Jr _ | Insn.Jalr _ ->
+    let correct = Btb.update t.btb pc ~taken ~target:next_pc in
+    if correct then begin
+      if taken then t.fetch_ready <- max t.fetch_ready (c + 1)
+    end
+    else begin
+      s.btb_mispredicts <- s.btb_mispredicts + 1;
+      t.fetch_ready <- max t.fetch_ready (c + 1 + t.cfg.mispredict_penalty)
+    end
+  | Insn.Jump _ | Insn.Jal _ ->
+    (* direct unconditional transfers redirect fetch without penalty
+       but end the fetch group *)
+    t.fetch_ready <- max t.fetch_ready (c + 1)
+  | _ -> ());
+  (* destinations *)
+  List.iter (fun d -> t.reg_ready.(d) <- c + !latency) (Insn.defs insn);
+  (match t.tracer with Some f -> f pc insn c !latency | None -> ());
+  s.cycles <- max s.cycles (c + !latency)
+
+let set_tracer t f = t.tracer <- Some f
+
+let observer t : Emulator.observer = fun pc insn eff taken next_pc ->
+  process t pc insn eff taken next_pc
+
+let stats t = t.stats
+
+let table_stats t = Option.map Addr_table.stats t.table
+
+(* Run a program under this configuration and return final statistics. *)
+let simulate ?max_insns (cfg : Config.t) program =
+  let t = create cfg in
+  let emu = Emulator.create program in
+  Emulator.run ~observer:(observer t) ?max_insns emu;
+  (t.stats, Emulator.output emu)

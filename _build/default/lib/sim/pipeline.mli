@@ -1,0 +1,61 @@
+(** Cycle-based timing model of the paper's six-stage in-order
+    superscalar pipeline (IF ID1 ID2 EXE MEM WB) with dual
+    early-address-generation support.
+
+    Timing conventions — an instruction issued at cycle [c] occupies
+    ID1 at [c-2], ID2 at [c-1], EXE at [c], MEM at [c+1]:
+    - ALU results feed dependents issued at [c+1];
+    - a normal load feeds dependents at [c+2] (the Figure 1a one-cycle
+      load-use stall), plus the miss penalty on a D-cache miss;
+    - a successful [ld_p] (table probe at ID1, speculative access at
+      ID2, verified at end of EXE) feeds dependents at [c+1];
+    - a successful [ld_e] (R_addr full adder, no verification wait)
+      feeds dependents at [c]; dispatch is elastic — the access goes
+      out on the first cycle the base value reaches R_addr, and a base
+      only ready at EXE gains nothing (the Figure 1c worst case);
+    - speculative accesses consume data-cache-port bandwidth; wrong
+      speculation costs only that bandwidth (the paper's "extra
+      load"), and a correct-address speculative miss lets the normal
+      access merge with the in-flight fill. *)
+
+type stats =
+  { mutable cycles : int
+  ; mutable instructions : int
+  ; mutable loads : int
+  ; mutable stores : int
+  ; mutable loads_n : int      (** dynamic loads executed as ld_n *)
+  ; mutable loads_p : int
+  ; mutable loads_e : int
+  ; mutable table_attempts : int
+  ; mutable table_successes : int
+  ; mutable calc_attempts : int
+  ; mutable calc_successes : int
+  ; mutable wasted_spec : int  (** dispatched but not forwarded *)
+  ; mutable load_latency_sum : int
+  ; mutable icache_misses : int
+  ; mutable dcache_accesses : int
+  ; mutable dcache_misses : int
+  ; mutable btb_mispredicts : int }
+
+type t
+
+val create : Config.t -> t
+
+val process : t -> int -> Elag_isa.Insn.t -> int -> bool -> int -> unit
+(** Feed one retired instruction (same signature as
+    {!Emulator.observer}). *)
+
+val set_tracer : t -> (int -> Elag_isa.Insn.t -> int -> int -> unit) -> unit
+(** Install a per-instruction hook [(pc, insn, issue_cycle, latency)],
+    used by the pipeline-visualization example. *)
+
+val observer : t -> Emulator.observer
+
+val stats : t -> stats
+
+val table_stats : t -> Elag_predict.Addr_table.stats option
+
+val simulate :
+  ?max_insns:int -> Config.t -> Elag_isa.Program.t -> stats * string
+(** Emulate the program under this configuration; returns final
+    statistics and the program's printed output. *)

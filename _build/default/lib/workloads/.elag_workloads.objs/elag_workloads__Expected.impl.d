@@ -1,0 +1,1 @@
+lib/workloads/expected.ml: List

@@ -1,0 +1,1 @@
+lib/workloads/media_b.ml: Workload

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Expected List Media_a Media_b Spec_a Spec_b Workload

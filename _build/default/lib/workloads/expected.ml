@@ -1,0 +1,30 @@
+(* Generated expected outputs: emulator stdout per workload. *)
+let table = [
+  ("008.espresso", "290075826\n14\n");
+  ("022.li", "4580071\n");
+  ("023.eqntott", "57604\n");
+  ("026.compress", "67359388\n");
+  ("072.sc", "75126539\n");
+  ("085.cc1", "502853919\n");
+  ("124.m88ksim", "4954469\n461\n");
+  ("129.compress", "4943728\n");
+  ("130.li", "6069001\n");
+  ("132.ijpeg", "601822604\n");
+  ("134.perl", "32030409\n");
+  ("147.vortex", "910147833\n");
+  ("G.721 Decode", "135151938\n");
+  ("G.721 Encode", "149906114\n");
+  ("EPIC Decode", "23499975\n");
+  ("EPIC Encode", "443813092\n");
+  ("GSM Decode", "251036758\n");
+  ("GSM Encode", "545412622\n");
+  ("ADPCM Decode", "222211646\n");
+  ("ADPCM Encode", "186098971\n");
+  ("Ghostscript", "259738655\n");
+  ("MPEG Decode", "9705273\n");
+  ("PGP Decode", "358214307\n");
+  ("PGP Encode", "359205251\n");
+  ("RASTA", "186316708\n");
+]
+
+let find name = List.assoc_opt name table

@@ -1,0 +1,7 @@
+(** Pinned emulator outputs per workload, regenerated whenever a
+    kernel changes; {!Suite} attaches them so every consumer
+    self-checks. *)
+
+val table : (string * string) list
+
+val find : string -> string option

@@ -1,0 +1,552 @@
+(* MediaBench-like workloads, first half: ADPCM encode/decode, G.721
+   encode/decode, GSM encode/decode, EPIC encode/decode.  Media kernels
+   are dominated by linear array walks over sample buffers and constant
+   coefficient tables, reproducing the suite's high fraction of
+   predictable loads (paper Table 4). *)
+
+let common_signal = {|
+int signal[8192];
+
+void make_signal(int n, int seed) {
+  int i;
+  int phase = 0;
+  srand_set(seed);
+  for (i = 0; i < n; i++) {
+    phase = phase + 3 + (rand_next() % 5);
+    /* triangle wave plus noise */
+    int tri = phase % 256;
+    if (tri > 128) { tri = 256 - tri; }
+    signal[i] = tri * 24 - 1536 + (rand_next() % 64);
+  }
+}
+|}
+
+let adpcm_tables = {|
+struct adpcm_state {
+  int valprev;
+  int index;
+};
+
+struct adpcm_state *enc_state;
+struct adpcm_state *dec_state;
+
+void init_states() {
+  enc_state = (struct adpcm_state*)alloc_node(sizeof(struct adpcm_state));
+  dec_state = (struct adpcm_state*)alloc_node(sizeof(struct adpcm_state));
+  enc_state->valprev = 0;
+  enc_state->index = 0;
+  dec_state->valprev = 0;
+  dec_state->index = 0;
+}
+
+int step_table[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37,
+  41, 45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173,
+  190, 209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658,
+  724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+  2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894,
+  6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289,
+  16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767 };
+int index_table[16] = { -1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8 };
+|}
+
+let adpcm_encode =
+  Workload.make ~name:"ADPCM Encode" ~suite:Workload.Media
+    ~description:"IMA ADPCM encoder over a synthetic 16-bit signal"
+    (common_signal ^ adpcm_tables
+    ^ {|
+char out[8192];
+
+int encode(struct adpcm_state *st, int n) {
+  int i;
+  int check = 0;
+  st->valprev = 0;
+  st->index = 0;
+  for (i = 0; i < n; i++) {
+    int valpred = st->valprev;
+    int index = st->index;
+    int val = signal[i];
+    int step = step_table[index];
+    int diff = val - valpred;
+    int sign = 0;
+    int delta;
+    int vpdiff;
+    if (diff < 0) { sign = 8; diff = 0 - diff; }
+    delta = 0;
+    vpdiff = step >> 3;
+    if (diff >= step) { delta = 4; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step >> 1;
+    if (diff >= step) { delta = delta + 2; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step >> 1;
+    if (diff >= step) { delta = delta + 1; vpdiff = vpdiff + step; }
+    if (sign != 0) { valpred = valpred - vpdiff; } else { valpred = valpred + vpdiff; }
+    if (valpred > 32767) { valpred = 32767; }
+    if (valpred < (0 - 32768)) { valpred = 0 - 32768; }
+    delta = delta | sign;
+    index = index + index_table[delta];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+    out[i] = delta;
+    st->valprev = valpred;
+    st->index = index;
+    check = (check * 31 + delta) & 0xFFFFFF;
+  }
+  return check;
+}
+
+int main() {
+  int r;
+  int total = 0;
+  init_states();
+  for (r = 0; r < 24; r++) {
+    make_signal(8192, r + 1);
+    total = (total + encode(enc_state, 8192)) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let adpcm_decode =
+  Workload.make ~name:"ADPCM Decode" ~suite:Workload.Media
+    ~description:"IMA ADPCM decoder over an encoded synthetic stream"
+    (common_signal ^ adpcm_tables
+    ^ {|
+char code[8192];
+int decoded[8192];
+
+void make_code(int n, int seed) {
+  int i;
+  srand_set(seed);
+  for (i = 0; i < n; i++) {
+    code[i] = rand_next() & 15;
+  }
+}
+
+int decode(struct adpcm_state *st, int n) {
+  int i;
+  int check = 0;
+  st->valprev = 0;
+  st->index = 0;
+  for (i = 0; i < n; i++) {
+    int valpred = st->valprev;
+    int index = st->index;
+    int delta = code[i];
+    int step = step_table[index];
+    int vpdiff = step >> 3;
+    if ((delta & 4) != 0) { vpdiff = vpdiff + step; }
+    if ((delta & 2) != 0) { vpdiff = vpdiff + (step >> 1); }
+    if ((delta & 1) != 0) { vpdiff = vpdiff + (step >> 2); }
+    if ((delta & 8) != 0) { valpred = valpred - vpdiff; }
+    else { valpred = valpred + vpdiff; }
+    if (valpred > 32767) { valpred = 32767; }
+    if (valpred < (0 - 32768)) { valpred = 0 - 32768; }
+    index = index + index_table[delta];
+    if (index < 0) { index = 0; }
+    if (index > 88) { index = 88; }
+    decoded[i] = valpred;
+    st->valprev = valpred;
+    st->index = index;
+    check = (check + valpred) & 0xFFFFFF;
+  }
+  return check;
+}
+
+int main() {
+  int r;
+  int total = 0;
+  init_states();
+  for (r = 0; r < 24; r++) {
+    make_code(8192, r + 2);
+    total = (total + decode(dec_state, 8192)) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let g721_core = {|
+/* G.721-style predictor state, heap-allocated per channel as in a
+   real multi-channel transcoder: accesses go through a loaded state
+   pointer, the early-calculation case */
+struct g72x_state {
+  int b0; int b1; int b2; int b3; int b4; int b5;
+  int d0; int d1; int d2; int d3; int d4; int d5;
+};
+
+struct channel {
+  int id;
+  struct g72x_state *state;
+  struct channel *next;
+};
+
+struct channel *channels;
+
+void make_channels(int n) {
+  int i;
+  channels = (struct channel*)0;
+  for (i = 0; i < n; i++) {
+    struct channel *c = (struct channel*)alloc_node(sizeof(struct channel));
+    struct g72x_state *st = (struct g72x_state*)alloc_node(sizeof(struct g72x_state));
+    st->b0 = 0; st->b1 = 0; st->b2 = 0; st->b3 = 0; st->b4 = 0; st->b5 = 0;
+    st->d0 = 0; st->d1 = 0; st->d2 = 0; st->d3 = 0; st->d4 = 0; st->d5 = 0;
+    c->id = i;
+    c->state = st;
+    c->next = channels;
+    channels = c;
+  }
+}
+
+int predict(struct g72x_state *s) {
+  int acc = s->b0 * s->d0 + s->b1 * s->d1 + s->b2 * s->d2
+          + s->b3 * s->d3 + s->b4 * s->d4 + s->b5 * s->d5;
+  return acc >> 14;
+}
+
+int adapt(int b, int dq, int d) {
+  if ((dq ^ d) >= 0) {
+    return b + 128 - (b >> 8);
+  }
+  return b - 128 - (b >> 8);
+}
+
+void update(struct g72x_state *s, int dq) {
+  s->b5 = adapt(s->b5, dq, s->d4);
+  s->b4 = adapt(s->b4, dq, s->d3);
+  s->b3 = adapt(s->b3, dq, s->d2);
+  s->b2 = adapt(s->b2, dq, s->d1);
+  s->b1 = adapt(s->b1, dq, s->d0);
+  s->d5 = s->d4; s->d4 = s->d3; s->d3 = s->d2;
+  s->d2 = s->d1; s->d1 = s->d0; s->d0 = dq;
+}
+
+int quantize(int d) {
+  int a = d;
+  int q = 0;
+  if (a < 0) { a = 0 - a; }
+  while (a > 15 && q < 7) {
+    a = a >> 1;
+    q = q + 1;
+  }
+  if (d < 0) { q = q | 8; }
+  return q;
+}
+
+int dequantize(int q) {
+  int m = q & 7;
+  int v = 15 << m >> 1;
+  if ((q & 8) != 0) { return 0 - v; }
+  return v;
+}
+|}
+
+let g721_encode =
+  Workload.make ~name:"G.721 Encode" ~suite:Workload.Media
+    ~description:"ADPCM transcoder with adaptive linear prediction (encode)"
+    (common_signal ^ g721_core
+    ^ {|
+int main() {
+  int r;
+  int total = 0;
+  make_channels(4);
+  for (r = 0; r < 16; r++) {
+    int i;
+    int check = 0;
+    struct channel *ch = channels;
+    make_signal(8192, r + 5);
+    /* round-robin the channels like a trunk transcoder */
+    for (i = 0; i < 8192; i++) {
+      struct g72x_state *st = ch->state;
+      int se = predict(st);
+      int d = (signal[i] >> 4) - se;
+      int q = quantize(d);
+      int dq = dequantize(q);
+      update(st, dq);
+      check = (check * 13 + q) & 0xFFFFFF;
+      ch = ch->next;
+      if (ch == (struct channel*)0) { ch = channels; }
+    }
+    total = (total + check) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let g721_decode =
+  Workload.make ~name:"G.721 Decode" ~suite:Workload.Media
+    ~description:"ADPCM transcoder with adaptive linear prediction (decode)"
+    (common_signal ^ g721_core
+    ^ {|
+char codes[8192];
+
+int main() {
+  int r;
+  int total = 0;
+  make_channels(4);
+  for (r = 0; r < 16; r++) {
+    int i;
+    int check = 0;
+    struct channel *ch = channels;
+    srand_set(r + 9);
+    for (i = 0; i < 8192; i++) { codes[i] = rand_next() & 15; }
+    for (i = 0; i < 8192; i++) {
+      struct g72x_state *st = ch->state;
+      int se = predict(st);
+      int dq = dequantize(codes[i]);
+      int rec = se + dq;
+      update(st, dq);
+      check = (check + (rec & 0xFFFF)) & 0xFFFFFF;
+      ch = ch->next;
+      if (ch == (struct channel*)0) { ch = channels; }
+    }
+    total = (total + check) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let gsm_core = {|
+int lar[8];
+
+/* per-frame descriptor records, chained as the codec's work list */
+struct frame_desc {
+  int start;
+  int length;
+  int gain;
+  struct frame_desc *next;
+};
+
+struct frame_desc *frame_list;
+
+void build_frame_list(int total_samples, int frame_len) {
+  int start = 0;
+  frame_list = (struct frame_desc*)0;
+  while (start + frame_len <= total_samples) {
+    struct frame_desc *f = (struct frame_desc*)alloc_node(sizeof(struct frame_desc));
+    f->start = start;
+    f->length = frame_len;
+    f->gain = (start >> 5) & 31;
+    f->next = frame_list;
+    frame_list = f;
+    start = start + frame_len;
+  }
+}
+
+/* short-term analysis: lattice filter over the frame */
+int st_filter(int *frame, int n) {
+  int u[8];
+  int i;
+  int k;
+  int check = 0;
+  for (k = 0; k < 8; k++) { u[k] = 0; }
+  for (i = 0; i < n; i++) {
+    int din = frame[i];
+    int sav = din;
+    for (k = 0; k < 8; k++) {
+      int rp = lar[k];
+      int ui = u[k];
+      u[k] = sav;
+      sav = ui + ((rp * din) >> 15);
+      din = din + ((rp * ui) >> 15);
+    }
+    check = (check + (din & 0xFFFF)) & 0xFFFFFF;
+  }
+  return check;
+}
+
+/* long-term prediction: search best lag by correlation */
+int ltp_search(int *frame, int pos, int n) {
+  int best = 0;
+  int best_corr = 0 - 2147483647;
+  int lag;
+  for (lag = 40; lag <= 120; lag++) {
+    int corr = 0;
+    int j;
+    if (pos - lag < 0) { break; }
+    for (j = 0; j < 40; j++) {
+      if (pos + j < n) {
+        corr = corr + ((frame[pos + j] * frame[pos + j - lag]) >> 8);
+      }
+    }
+    if (corr > best_corr) {
+      best_corr = corr;
+      best = lag;
+    }
+  }
+  return best;
+}
+|}
+
+let gsm_encode =
+  Workload.make ~name:"GSM Encode" ~suite:Workload.Media
+    ~description:"GSM 06.10-style full-rate encoder: lattice filtering plus long-term lag search"
+    (common_signal ^ gsm_core
+    ^ {|
+int main() {
+  int r;
+  int total = 0;
+  int k;
+  for (k = 0; k < 8; k++) { lar[k] = 3000 - k * 350; }
+  build_frame_list(8192 - 160, 160);
+  for (r = 0; r < 6; r++) {
+    struct frame_desc *f = frame_list;
+    make_signal(8192, r + 21);
+    while (f) {
+      total = (total + st_filter(&signal[f->start], f->length) + f->gain)
+              % 1000000007;
+      total = (total + ltp_search(signal, f->start + 160, 8192)) % 1000000007;
+      f = f->next;
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let gsm_decode =
+  Workload.make ~name:"GSM Decode" ~suite:Workload.Media
+    ~description:"GSM 06.10-style decoder: inverse lattice filtering over frames"
+    (common_signal ^ gsm_core
+    ^ {|
+int main() {
+  int r;
+  int total = 0;
+  int k;
+  for (k = 0; k < 8; k++) { lar[k] = 2800 - k * 300; }
+  build_frame_list(8192, 160);
+  for (r = 0; r < 20; r++) {
+    struct frame_desc *f = frame_list;
+    make_signal(8192, r + 33);
+    while (f) {
+      total = (total + st_filter(&signal[f->start], f->length) + f->gain)
+              % 1000000007;
+      f = f->next;
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let epic_core = {|
+int img[64 * 64];
+int lowpass[64 * 64];
+int highpass[64 * 64];
+
+/* pyramid level descriptors, chained as in the EPIC code's level
+   list: each holds the quantizer binsize and a running statistics
+   accumulator */
+struct pyr_level {
+  int binsize;
+  int count;
+  int energy;
+  struct pyr_level *next;
+};
+
+struct pyr_level *levels;
+
+void make_levels(int n) {
+  int i;
+  levels = (struct pyr_level*)0;
+  for (i = n - 1; i >= 0; i--) {
+    struct pyr_level *l = (struct pyr_level*)alloc_node(sizeof(struct pyr_level));
+    l->binsize = 2 + (i & 3);
+    l->count = 0;
+    l->energy = 0;
+    l->next = levels;
+    levels = l;
+  }
+}
+
+void make_image(int seed) {
+  int i;
+  srand_set(seed);
+  for (i = 0; i < 64 * 64; i++) {
+    img[i] = (i % 64) * 2 + (i / 64) + (rand_next() % 16);
+  }
+}
+
+/* separable 5-tap pyramid filter */
+void filter_pass() {
+  int r;
+  int c;
+  for (r = 0; r < 64; r++) {
+    for (c = 2; c < 62; c++) {
+      int acc = img[r * 64 + c - 2] * (0 - 1)
+              + img[r * 64 + c - 1] * 4
+              + img[r * 64 + c] * 10
+              + img[r * 64 + c + 1] * 4
+              + img[r * 64 + c + 2] * (0 - 1);
+      lowpass[r * 64 + c] = acc >> 4;
+      highpass[r * 64 + c] = img[r * 64 + c] - (acc >> 4);
+    }
+  }
+}
+
+int quantize_bands(struct pyr_level *l) {
+  int i;
+  int check = 0;
+  int qstep = l->binsize;
+  for (i = 0; i < 64 * 64; i++) {
+    int v = highpass[i] / qstep;
+    l->count = l->count + 1;
+    l->energy = (l->energy + (v & 0xFF)) & 0xFFFFFF;
+    check = (check * 31 + (v & 0xFF)) & 0xFFFFFF;
+  }
+  return check;
+}
+|}
+
+let epic_encode =
+  Workload.make ~name:"EPIC Encode" ~suite:Workload.Media
+    ~description:"pyramid image coder: separable filtering and band quantization"
+    (epic_core
+    ^ {|
+int main() {
+  int r;
+  int total = 0;
+  make_levels(4);
+  for (r = 0; r < 40; r++) {
+    struct pyr_level *l = levels;
+    make_image(r + 41);
+    filter_pass();
+    while (l) {
+      total = (total + quantize_bands(l)) % 1000000007;
+      l = l->next;
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let epic_decode =
+  Workload.make ~name:"EPIC Decode" ~suite:Workload.Media
+    ~description:"pyramid image decoder: band reconstruction sweeps"
+    (epic_core
+    ^ {|
+int reconstruct() {
+  int i;
+  int check = 0;
+  for (i = 0; i < 64 * 64; i++) {
+    int v = lowpass[i] + highpass[i];
+    img[i] = v;
+    check = (check + (v & 0xFFFF)) & 0xFFFFFF;
+  }
+  return check;
+}
+
+int main() {
+  int r;
+  int total = 0;
+  for (r = 0; r < 60; r++) {
+    make_image(r + 55);
+    filter_pass();
+    total = (total + reconstruct()) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|})

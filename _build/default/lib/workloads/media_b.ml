@@ -1,0 +1,451 @@
+(* MediaBench-like workloads, second half: MPEG decode, PGP
+   encode/decode, Ghostscript, RASTA. *)
+
+let mpeg_decode =
+  Workload.make ~name:"MPEG Decode" ~suite:Workload.Media
+    ~description:"video decoder inner loops: IDCT over 8x8 blocks and motion compensation copies"
+    {|
+int frame[96 * 96];
+int reference[96 * 96];
+int block[64];
+int idct_tmp[64];
+
+void init_frames(int seed) {
+  int i;
+  srand_set(seed);
+  for (i = 0; i < 96 * 96; i++) {
+    reference[i] = rand_next() % 256;
+    frame[i] = 0;
+  }
+}
+
+void fill_block(int seed) {
+  int i;
+  srand_set(seed);
+  for (i = 0; i < 64; i++) {
+    block[i] = (rand_next() % 64) - 32;
+    if (i > 20) { block[i] = 0; } /* typical sparse high bands */
+  }
+}
+
+/* integer IDCT approximation: two separable passes */
+void idct() {
+  int r;
+  int c;
+  int k;
+  for (r = 0; r < 8; r++) {
+    for (c = 0; c < 8; c++) {
+      int acc = 0;
+      for (k = 0; k < 8; k++) {
+        int w = 8 - ((c * (2 * k + 1)) % 15);
+        acc = acc + block[r * 8 + k] * w;
+      }
+      idct_tmp[r * 8 + c] = acc >> 3;
+    }
+  }
+  for (c = 0; c < 8; c++) {
+    for (r = 0; r < 8; r++) {
+      int acc = 0;
+      for (k = 0; k < 8; k++) {
+        int w = 8 - ((r * (2 * k + 1)) % 15);
+        acc = acc + idct_tmp[k * 8 + c] * w;
+      }
+      block[r * 8 + c] = acc >> 6;
+    }
+  }
+}
+
+/* motion compensation: copy a displaced 8x8 region plus residual */
+int motion_comp(int bx, int by, int dx, int dy) {
+  int r;
+  int c;
+  int check = 0;
+  for (r = 0; r < 8; r++) {
+    for (c = 0; c < 8; c++) {
+      int sr = by * 8 + r + dy;
+      int sc = bx * 8 + c + dx;
+      int pred = reference[sr * 96 + sc];
+      int v = pred + block[r * 8 + c];
+      if (v < 0) { v = 0; }
+      if (v > 255) { v = 255; }
+      frame[(by * 8 + r) * 96 + bx * 8 + c] = v;
+      check = (check + v) & 0xFFFFFF;
+    }
+  }
+  return check;
+}
+
+/* per-macroblock decode records, as produced by the VLC parser in a
+   real decoder */
+struct macroblock {
+  int bx;
+  int by;
+  int dx;
+  int dy;
+  int cbp;
+  struct macroblock *next;
+};
+
+struct macroblock *mb_list;
+
+void parse_picture(int pic) {
+  int bx;
+  int by;
+  mb_list = (struct macroblock*)0;
+  for (by = 10; by >= 1; by--) {
+    for (bx = 10; bx >= 1; bx--) {
+      struct macroblock *mb =
+        (struct macroblock*)alloc_node(sizeof(struct macroblock));
+      mb->bx = bx;
+      mb->by = by;
+      mb->dx = (pic % 3) - 1;
+      mb->dy = (pic % 5) % 3 - 1;
+      mb->cbp = pic * 121 + by * 11 + bx;
+      mb->next = mb_list;
+      mb_list = mb;
+    }
+  }
+}
+
+int main() {
+  int pic;
+  int total = 0;
+  init_frames(3);
+  for (pic = 0; pic < 12; pic++) {
+    struct macroblock *mb;
+    parse_picture(pic);
+    mb = mb_list;
+    while (mb) {
+      fill_block(mb->cbp);
+      idct();
+      total = (total + motion_comp(mb->bx, mb->by, mb->dx, mb->dy)) % 1000000007;
+      mb = mb->next;
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let pgp_core = {|
+/* multi-precision integers as in real PGP: a descriptor struct with a
+   pointer to heap-allocated 16-bit limbs */
+struct mpi {
+  int nlimbs;
+  int *limbs;
+};
+
+struct mpi *mp_a;
+struct mpi *mp_b;
+struct mpi *mp_m;
+struct mpi *mp_r;
+
+struct mpi *mpi_new(int nlimbs) {
+  struct mpi *m = (struct mpi*)alloc_node(sizeof(struct mpi));
+  m->nlimbs = nlimbs;
+  m->limbs = (int*)alloc_node(nlimbs * 4);
+  return m;
+}
+
+void mp_mul() {
+  int i;
+  int j;
+  int *r = mp_r->limbs;
+  for (i = 0; i < 64; i++) { r[i] = 0; }
+  for (i = 0; i < 32; i++) {
+    int carry = 0;
+    int ai = mp_a->limbs[i];
+    int *b = mp_b->limbs;
+    for (j = 0; j < 32; j++) {
+      int t = r[i + j] + ai * b[j] + carry;
+      r[i + j] = t & 0xFFFF;
+      carry = (t >> 16) & 0xFFFF;
+    }
+    r[i + 32] = carry;
+  }
+}
+
+/* pseudo-Montgomery reduction: fold the high half using m */
+int mp_reduce() {
+  int i;
+  int j;
+  int check = 0;
+  int *r = mp_r->limbs;
+  for (i = 63; i >= 32; i--) {
+    int q = r[i] & 0xFF;
+    int carry = 0;
+    int *m = mp_m->limbs;
+    for (j = 0; j < 32; j++) {
+      int idx = i - 32 + j;
+      int t = r[idx] + q * m[j] + carry;
+      r[idx] = t & 0xFFFF;
+      carry = (t >> 16) & 0xFFFF;
+    }
+    check = (check * 31 + r[i - 32]) & 0xFFFFFF;
+  }
+  return check;
+}
+
+void load_operands(int seed) {
+  int i;
+  srand_set(seed);
+  if (mp_a == (struct mpi*)0) {
+    mp_a = mpi_new(32);
+    mp_b = mpi_new(32);
+    mp_m = mpi_new(32);
+    mp_r = mpi_new(64);
+  }
+  for (i = 0; i < 32; i++) {
+    mp_a->limbs[i] = rand_next() & 0xFFFF;
+    mp_b->limbs[i] = rand_next() & 0xFFFF;
+    mp_m->limbs[i] = (rand_next() & 0xFFFF) | 1;
+  }
+}
+|}
+
+let pgp_encode =
+  Workload.make ~name:"PGP Encode" ~suite:Workload.Media
+    ~description:"public-key encryption inner loops: multi-precision multiply and reduce"
+    (pgp_core
+    ^ {|
+int main() {
+  int r;
+  int total = 0;
+  for (r = 0; r < 48; r++) {
+    load_operands(r + 71);
+    mp_mul();
+    total = (total + mp_reduce()) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let pgp_decode =
+  Workload.make ~name:"PGP Decode" ~suite:Workload.Media
+    ~description:"public-key decryption inner loops: repeated square-and-reduce ladder"
+    (pgp_core
+    ^ {|
+int main() {
+  int r;
+  int total = 0;
+  load_operands(83);
+  for (r = 0; r < 48; r++) {
+    int i;
+    mp_mul();
+    total = (total + mp_reduce()) % 1000000007;
+    /* feed the low half back in as the next operand (square chain) */
+    for (i = 0; i < 32; i++) {
+      mp_a->limbs[i] = mp_r->limbs[i];
+      mp_b->limbs[i] = mp_r->limbs[(i * 7 + 1) % 32];
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|})
+
+let ghostscript =
+  Workload.make ~name:"Ghostscript" ~suite:Workload.Media
+    ~description:"rasterizer: scanline polygon fill with an active-edge linked list"
+    {|
+struct edge {
+  int y_top;
+  int y_bot;
+  int x_fixed;     /* 16.16 */
+  int dx_fixed;
+  struct edge *next;
+};
+
+char raster[128 * 128];
+struct edge *edge_buckets[128];
+
+void add_edge(int x0, int y0, int x1, int y1) {
+  struct edge *e;
+  if (y0 == y1) { return; }
+  if (y0 > y1) {
+    int t = y0; y0 = y1; y1 = t;
+    t = x0; x0 = x1; x1 = t;
+  }
+  e = (struct edge*)alloc_node(sizeof(struct edge));
+  e->y_top = y0;
+  e->y_bot = y1;
+  e->x_fixed = x0 << 16;
+  e->dx_fixed = ((x1 - x0) << 16) / (y1 - y0);
+  e->next = edge_buckets[y0];
+  edge_buckets[y0] = e;
+}
+
+void make_scene(int seed) {
+  int i;
+  srand_set(seed);
+  for (i = 0; i < 128; i++) { edge_buckets[i] = (struct edge*)0; }
+  for (i = 0; i < 128 * 128; i++) { raster[i] = 0; }
+  for (i = 0; i < 40; i++) {
+    int x0 = rand_next() % 120;
+    int y0 = rand_next() % 120;
+    int w = 4 + rand_next() % 24;
+    int h = 4 + rand_next() % 24;
+    /* a triangle */
+    add_edge(x0, y0, x0 + w, y0 + h);
+    add_edge(x0 + w, y0 + h, x0, y0 + h);
+    add_edge(x0, y0 + h, x0, y0);
+  }
+}
+
+int fill() {
+  struct edge *active = (struct edge*)0;
+  int y;
+  int filled = 0;
+  for (y = 0; y < 128; y++) {
+    struct edge *e;
+    struct edge *prev;
+    /* merge in edges starting at this scanline */
+    e = edge_buckets[y];
+    while (e) {
+      struct edge *nx = e->next;
+      e->next = active;
+      active = e;
+      e = nx;
+    }
+    /* remove finished edges */
+    prev = (struct edge*)0;
+    e = active;
+    while (e) {
+      if (e->y_bot <= y) {
+        if (prev) { prev->next = e->next; } else { active = e->next; }
+      } else {
+        prev = e;
+      }
+      e = e->next;
+    }
+    /* paint spans between pairs (even-odd, unsorted approximation) */
+    e = active;
+    while (e) {
+      int x = e->x_fixed >> 16;
+      if (x >= 0 && x < 128) {
+        raster[y * 128 + x] = 1;
+        filled = filled + 1;
+      }
+      e->x_fixed = e->x_fixed + e->dx_fixed;
+      e = e->next;
+    }
+  }
+  return filled;
+}
+
+int checksum() {
+  int i;
+  int check = 0;
+  for (i = 0; i < 128 * 128; i++) {
+    check = (check * 3 + raster[i]) & 0xFFFFFF;
+  }
+  return check;
+}
+
+int main() {
+  int r;
+  int total = 0;
+  for (r = 0; r < 30; r++) {
+    make_scene(r + 91);
+    total = (total + fill()) % 1000000007;
+    total = (total + checksum()) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let rasta =
+  Workload.make ~name:"RASTA" ~suite:Workload.Media
+    ~description:"speech-analysis filter bank: FIR/IIR cascades over frames"
+    {|
+int samples[4096];
+int bands[16 * 256];
+
+/* per-band filter descriptor, allocated like a real filter bank's
+   channel state */
+struct band_state {
+  int c0;
+  int c1;
+  int c2;
+  int c3;
+  int s0;
+  int s1;
+  struct band_state *next;
+};
+
+struct band_state *band_list;
+
+void make_bands() {
+  int band;
+  band_list = (struct band_state*)0;
+  for (band = 15; band >= 0; band--) {
+    struct band_state *b = (struct band_state*)alloc_node(sizeof(struct band_state));
+    b->c0 = 3 + band;
+    b->c1 = 7 - (band & 3);
+    b->c2 = 2 + (band >> 2);
+    b->c3 = 5;
+    b->s0 = 0;
+    b->s1 = 0;
+    b->next = band_list;
+    band_list = b;
+  }
+}
+
+void make_speech(int seed) {
+  int i;
+  srand_set(seed);
+  for (i = 0; i < 4096; i++) {
+    samples[i] = (rand_next() % 2048) - 1024;
+  }
+}
+
+/* 16-band filter bank: each band a 4-tap FIR followed by a 2-pole
+   IIR, with coefficients and recursion state in the band's record */
+int analyze() {
+  int band = 0;
+  int check = 0;
+  struct band_state *b = band_list;
+  while (b) {
+    int i;
+    b->s0 = 0;
+    b->s1 = 0;
+    for (i = 0; i < 256; i++) {
+      int x0 = samples[i * 16 + (band & 15)];
+      int x1 = samples[(i * 16 + band + 1) & 4095];
+      int x2 = samples[(i * 16 + band + 2) & 4095];
+      int x3 = samples[(i * 16 + band + 3) & 4095];
+      int fir = (x0 * b->c0 + x1 * b->c1 + x2 * b->c2 + x3 * b->c3) >> 4;
+      int y = fir + ((b->s0 * 27) >> 5) - ((b->s1 * 13) >> 6);
+      b->s1 = b->s0;
+      b->s0 = y;
+      bands[band * 256 + i] = y;
+    }
+    band = band + 1;
+    b = b->next;
+  }
+  for (band = 0; band < 16; band++) {
+    int i;
+    int energy = 0;
+    for (i = 0; i < 256; i++) {
+      int v = bands[band * 256 + i];
+      energy = (energy + ((v * v) >> 8)) & 0xFFFFFF;
+    }
+    check = (check * 31 + energy) & 0xFFFFFF;
+  }
+  return check;
+}
+
+int main() {
+  int r;
+  int total = 0;
+  make_bands();
+  for (r = 0; r < 25; r++) {
+    make_speech(r + 101);
+    total = (total + analyze()) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|}

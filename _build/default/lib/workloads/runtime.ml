@@ -1,0 +1,45 @@
+(* MiniC runtime prelude prepended to every workload: a bump allocator
+   over the emulator-provided heap and a deterministic LCG.
+
+   The emulator publishes the heap base in the reserved word at address
+   4092 (Layout.heap_pointer_slot); [alloc] bootstraps from it on first
+   use. *)
+
+let prelude = {|
+int __heap_ptr;
+int __rand_state;
+
+int alloc(int nbytes) {
+  int p;
+  if (__heap_ptr == 0) {
+    __heap_ptr = *((int*)4092);
+  }
+  p = __heap_ptr;
+  __heap_ptr = __heap_ptr + ((nbytes + 3) & (0 - 4));
+  return p;
+}
+
+void srand_set(int seed) {
+  __rand_state = seed;
+}
+
+int rand_next() {
+  __rand_state = __rand_state * 1103515245 + 12345;
+  return (__rand_state >> 16) & 32767;
+}
+
+int __scramble_state;
+
+/* Heap allocator with irregular padding, modelling the scattered
+   layouts real allocators and garbage collectors produce: consecutive
+   allocations are NOT at constant strides, so pointer-chasing loads
+   are not secretly stride-predictable. */
+int alloc_node(int nbytes) {
+  __scramble_state = __scramble_state * 69069 + 1;
+  int pad = ((__scramble_state >> 20) & 7) * 4;
+  int p = alloc(nbytes + pad);
+  return p + pad;
+}
+|}
+
+let with_prelude source = prelude ^ "\n" ^ source

@@ -1,0 +1,970 @@
+(* SPEC-like workloads, first half: espresso, li, eqntott, compress,
+   sc, cc1.  Each kernel mirrors the dominant load behaviour of the
+   original benchmark (see DESIGN.md §4): strided array sweeps become
+   predictable (PD) loads, pointer chasing becomes early-calculation
+   (EC) loads, data-dependent indexing becomes neither (NT). *)
+
+let espresso =
+  Workload.make ~name:"008.espresso" ~suite:Workload.Spec
+    ~description:
+      "boolean-cube set operations: strided bitset sweeps plus \
+       index-indirected accesses"
+    {|
+int ncubes;
+int nwords;
+int cubes[512 * 8];
+int index_map[512];
+int cover[512];
+
+void init_cubes() {
+  int i;
+  int j;
+  srand_set(7);
+  ncubes = 512;
+  nwords = 8;
+  for (i = 0; i < ncubes; i++) {
+    for (j = 0; j < nwords; j++) {
+      cubes[i * 8 + j] = rand_next() * 977 + j;
+    }
+    index_map[i] = (i * 37 + 11) % ncubes;
+    cover[i] = 0;
+  }
+}
+
+int cube_distance(int a, int b) {
+  int j;
+  int d = 0;
+  for (j = 0; j < nwords; j++) {
+    int x = cubes[a * 8 + j] ^ cubes[b * 8 + j];
+    while (x != 0) {
+      d = d + (x & 1);
+      x = (x >> 1) & 0x7FFFFFFF;
+    }
+  }
+  return d;
+}
+
+int intersect_count() {
+  int i;
+  int j;
+  int count = 0;
+  for (i = 0; i < ncubes; i++) {
+    int any = 0;
+    for (j = 0; j < nwords; j++) {
+      if ((cubes[i * 8 + j] & cubes[(i + 1) % ncubes * 8 + j]) != 0) {
+        any = 1;
+      }
+    }
+    count = count + any;
+  }
+  return count;
+}
+
+int sharp_pass() {
+  int i;
+  int sum = 0;
+  for (i = 0; i < ncubes; i++) {
+    int k = index_map[i];
+    int v = cubes[k * 8];
+    sum = sum + (v & 0xFF);
+    cover[k] = cover[k] + 1;
+  }
+  return sum;
+}
+
+/* covers as linked lists of cube descriptors, as in real espresso */
+struct cube_node {
+  int index;        /* row in the cubes array */
+  int weight;
+  struct cube_node *next;
+};
+
+struct cube_node *cover_f;
+struct cube_node *cover_r;
+
+void build_covers() {
+  int i;
+  cover_f = (struct cube_node*)0;
+  cover_r = (struct cube_node*)0;
+  for (i = 0; i < ncubes; i++) {
+    struct cube_node *n = (struct cube_node*)alloc_node(sizeof(struct cube_node));
+    n->index = i;
+    n->weight = (i * 13 + 5) % 97;
+    if ((i & 3) == 0) {
+      n->next = cover_r;
+      cover_r = n;
+    } else {
+      n->next = cover_f;
+      cover_f = n;
+    }
+  }
+}
+
+/* walk a cover chain summing cube words: the loads through [p] are
+   the pointer-chasing early-calculation targets */
+int cover_mass(struct cube_node *p) {
+  int mass = 0;
+  while (p) {
+    int idx = p->index;
+    mass = (mass + cubes[idx * 8] + p->weight) & 0xFFFFFF;
+    p = p->next;
+  }
+  return mass;
+}
+
+/* does cube a contain cube b?  word-parallel check */
+int contains(int a, int b) {
+  int j;
+  for (j = 0; j < nwords; j++) {
+    int wa = cubes[a * 8 + j];
+    int wb = cubes[b * 8 + j];
+    if ((wa & wb) != wb) { return 0; }
+  }
+  return 1;
+}
+
+int containment_pass() {
+  int removed = 0;
+  struct cube_node *p = cover_f;
+  while (p) {
+    struct cube_node *q = p->next;
+    if (q && contains(p->index, q->index)) {
+      removed = removed + 1;
+    }
+    p = p->next;
+  }
+  return removed;
+}
+
+/* cofactor: project every cube onto a literal, writing a result row */
+int cofactor_buf[8];
+
+int cofactor_pass(int literal) {
+  int i;
+  int j;
+  int nonzero = 0;
+  int maskw = literal % 8;
+  for (i = 0; i < ncubes; i++) {
+    int live = 0;
+    for (j = 0; j < nwords; j++) {
+      int w = cubes[i * 8 + j];
+      if (j == maskw) { w = w & ~(1 << (literal & 31)); }
+      cofactor_buf[j] = w;
+      if (w != 0) { live = 1; }
+    }
+    nonzero = nonzero + live;
+  }
+  return nonzero;
+}
+
+int main() {
+  int pass;
+  int total = 0;
+  init_cubes();
+  build_covers();
+  for (pass = 0; pass < 14; pass++) {
+    total = total + intersect_count();
+    total = total + sharp_pass();
+    total = total + cube_distance(pass % ncubes, (pass * 5 + 3) % ncubes);
+    total = (total + cover_mass(cover_f)) % 1000000007;
+    total = (total + cover_mass(cover_r)) % 1000000007;
+    total = total + containment_pass();
+    total = (total + cofactor_pass(pass * 7 + 3)) % 1000000007;
+  }
+  print_int(total);
+  print_int(cover[100]);
+  return 0;
+}
+|}
+
+let li =
+  Workload.make ~name:"022.li" ~suite:Workload.Spec
+    ~description:
+      "lisp-style cons-cell interpreter: car/cdr pointer chasing with a \
+       symbol association list"
+    {|
+struct cell {
+  int tag;        /* 0 = number, 1 = cons, 2 = symbol */
+  int value;
+  struct cell *car;
+  struct cell *cdr;
+};
+
+struct cell *make_num(int v) {
+  struct cell *c = (struct cell*)alloc_node(sizeof(struct cell));
+  c->tag = 0;
+  c->value = v;
+  c->car = (struct cell*)0;
+  c->cdr = (struct cell*)0;
+  return c;
+}
+
+struct cell *make_cons(struct cell *a, struct cell *d) {
+  struct cell *c = (struct cell*)alloc_node(sizeof(struct cell));
+  c->tag = 1;
+  c->value = 0;
+  c->car = a;
+  c->cdr = d;
+  return c;
+}
+
+/* association list: (symbol-id . value) pairs as a chain */
+struct binding {
+  int symbol;
+  int value;
+  struct binding *next;
+};
+
+struct binding *env;
+
+void bind_symbol(int sym, int v) {
+  struct binding *b = (struct binding*)alloc_node(sizeof(struct binding));
+  b->symbol = sym;
+  b->value = v;
+  b->next = env;
+  env = b;
+}
+
+int lookup(int sym) {
+  struct binding *b = env;
+  while (b) {
+    if (b->symbol == sym) {
+      return b->value;
+    }
+    b = b->next;
+  }
+  return 0;
+}
+
+/* build a list of n numbers */
+struct cell *build_list(int n, int seed) {
+  struct cell *head = (struct cell*)0;
+  int i;
+  for (i = 0; i < n; i++) {
+    head = make_cons(make_num((seed * (i + 1)) % 1000), head);
+  }
+  return head;
+}
+
+int sum_list(struct cell *p) {
+  int s = 0;
+  while (p) {
+    s = s + p->car->value;
+    p = p->cdr;
+  }
+  return s;
+}
+
+struct cell *map_scale(struct cell *p, int k) {
+  struct cell *out = (struct cell*)0;
+  while (p) {
+    out = make_cons(make_num(p->car->value * k & 4095), out);
+    p = p->cdr;
+  }
+  return out;
+}
+
+/* reverse a list destructively (classic lisp primitive) */
+struct cell *nreverse(struct cell *p) {
+  struct cell *prev = (struct cell*)0;
+  while (p) {
+    struct cell *nx = p->cdr;
+    p->cdr = prev;
+    prev = p;
+    p = nx;
+  }
+  return prev;
+}
+
+/* zip two lists into pairs, consing heavily */
+struct cell *pair_up(struct cell *a, struct cell *b) {
+  struct cell *out = (struct cell*)0;
+  while (a && b) {
+    out = make_cons(make_cons(a->car, b->car), out);
+    a = a->cdr;
+    b = b->cdr;
+  }
+  return out;
+}
+
+int tree_weight(struct cell *p, int depth) {
+  int w = 0;
+  while (p && depth > 0) {
+    if (p->tag == 1 && p->car) {
+      if (p->car->tag == 1) {
+        w = w + tree_weight(p->car, depth - 1);
+      } else {
+        w = (w + p->car->value) & 0xFFFFFF;
+      }
+    }
+    p = p->cdr;
+  }
+  return w;
+}
+
+int main() {
+  int round;
+  int total = 0;
+  int i;
+  env = (struct binding*)0;
+  for (i = 0; i < 64; i++) {
+    bind_symbol(i, i * i);
+  }
+  for (round = 0; round < 30; round++) {
+    struct cell *l = build_list(300, round + 3);
+    struct cell *m = map_scale(l, 7);
+    struct cell *z = pair_up(l, m);
+    total = total + sum_list(m) % 10007;
+    total = total + lookup(round % 64);
+    total = (total + tree_weight(z, 3)) % 1000000007;
+    m = nreverse(m);
+    total = total + sum_list(m) % 10007;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let eqntott =
+  Workload.make ~name:"023.eqntott" ~suite:Workload.Spec
+    ~description:
+      "truth-table comparison sort: dense strided sweeps over a 2-D \
+       table (almost every load predictable)"
+    {|
+int nterms;
+int width;
+int table[256 * 32];
+int perm[256];
+
+void init_table() {
+  int i;
+  int j;
+  srand_set(13);
+  nterms = 256;
+  width = 32;
+  for (i = 0; i < nterms; i++) {
+    for (j = 0; j < width; j++) {
+      /* long shared prefixes force deep sequential comparison */
+      if (j < 24) {
+        table[i * 32 + j] = j & 3;
+      } else {
+        table[i * 32 + j] = rand_next() & 3;
+      }
+    }
+    perm[i] = i;
+  }
+}
+
+int cmp_terms(int a, int b) {
+  int j;
+  for (j = 0; j < width; j++) {
+    int x = table[a * 32 + j];
+    int y = table[b * 32 + j];
+    if (x < y) { return 0 - 1; }
+    if (x > y) { return 1; }
+  }
+  return 0;
+}
+
+void sort_terms() {
+  /* insertion sort over the permutation array */
+  int i;
+  for (i = 1; i < nterms; i++) {
+    int key = perm[i];
+    int j = i - 1;
+    while (j >= 0 && cmp_terms(perm[j], key) > 0) {
+      perm[j + 1] = perm[j];
+      j = j - 1;
+    }
+    perm[j + 1] = key;
+  }
+}
+
+int count_distinct() {
+  int i;
+  int distinct = 1;
+  for (i = 1; i < nterms; i++) {
+    if (cmp_terms(perm[i - 1], perm[i]) != 0) {
+      distinct = distinct + 1;
+    }
+  }
+  return distinct;
+}
+
+int inputs[32];
+
+/* evaluate every term against an input vector: long strided sweeps */
+int eval_terms() {
+  int i;
+  int j;
+  int ones = 0;
+  for (i = 0; i < nterms; i++) {
+    int match = 1;
+    for (j = 0; j < width; j++) {
+      int cell = table[i * 32 + j];
+      int v = inputs[j];
+      if (cell == 1 && v != 1) { match = 0; }
+      if (cell == 0 && v != 0) { match = 0; }
+    }
+    ones = ones + match;
+  }
+  return ones;
+}
+
+/* merge adjacent equal-prefix terms, rewriting the table in place */
+int merge_pass() {
+  int i;
+  int j;
+  int merged = 0;
+  for (i = 0; i + 1 < nterms; i++) {
+    int same = 1;
+    for (j = 0; j < width - 4; j++) {
+      if (table[perm[i] * 32 + j] != table[perm[i + 1] * 32 + j]) {
+        same = 0;
+        break;
+      }
+    }
+    if (same) {
+      for (j = width - 4; j < width; j++) {
+        table[perm[i + 1] * 32 + j] = table[perm[i] * 32 + j] | 2;
+      }
+      merged = merged + 1;
+    }
+  }
+  return merged;
+}
+
+/* follow permutation cycles: serial index chains perm[perm[...]] —
+   each load's address depends on the previous loaded value */
+int cycle_lengths() {
+  int seen[256];
+  int i;
+  int check = 0;
+  for (i = 0; i < nterms; i++) { seen[i] = 0; }
+  for (i = 0; i < nterms; i++) {
+    if (seen[i] == 0) {
+      int j = i;
+      int len = 0;
+      while (seen[j] == 0) {
+        seen[j] = 1;
+        j = perm[j];
+        len = len + 1;
+      }
+      check = (check * 31 + len) % 65521;
+    }
+  }
+  return check;
+}
+
+int main() {
+  int check = 0;
+  int i;
+  int v;
+  init_table();
+  sort_terms();
+  check = count_distinct();
+  for (i = 0; i < nterms; i++) {
+    check = (check + perm[i] * (i + 1)) % 65521;
+  }
+  srand_set(41);
+  for (v = 0; v < 24; v++) {
+    for (i = 0; i < 32; i++) { inputs[i] = rand_next() & 1; }
+    check = (check + eval_terms()) % 65521;
+  }
+  check = (check + merge_pass()) % 65521;
+  for (v = 0; v < 8; v++) {
+    check = (check + cycle_lengths()) % 65521;
+  }
+  print_int(check);
+  return 0;
+}
+|}
+
+let compress92 =
+  Workload.make ~name:"026.compress" ~suite:Workload.Spec
+    ~description:
+      "LZW compression: byte-stream sweeps (predictable) and \
+       hash-table probes (not predictable)"
+    {|
+int HSIZE;
+char input[16384];
+int htab[5003];
+int codetab[5003];
+
+void make_input(int n) {
+  int i;
+  srand_set(5);
+  for (i = 0; i < n; i++) {
+    /* skewed distribution compresses well */
+    int r = rand_next();
+    if ((r & 7) < 5) {
+      input[i] = 'a' + (r % 4);
+    } else {
+      input[i] = 'a' + (r % 26);
+    }
+  }
+}
+
+int compress_once(int n) {
+  int i;
+  int free_code = 257;
+  int prefix;
+  int out_count = 0;
+  int out_check = 0;
+  HSIZE = 5003;
+  for (i = 0; i < HSIZE; i++) {
+    htab[i] = 0 - 1;
+    codetab[i] = 0;
+  }
+  prefix = input[0];
+  for (i = 1; i < n; i++) {
+    int c = input[i];
+    int key = (c << 16) + prefix;
+    int h = ((c << 8) ^ prefix) % HSIZE;
+    int disp = 1 + (key % 97);
+    int found = 0 - 1;
+    while (htab[h] != (0 - 1)) {
+      if (htab[h] == key) {
+        found = codetab[h];
+        break;
+      }
+      h = h + disp;
+      if (h >= HSIZE) { h = h - HSIZE; }
+    }
+    if (found >= 0) {
+      prefix = found;
+    } else {
+      out_count = out_count + 1;
+      out_check = (out_check * 31 + prefix) & 0xFFFFFF;
+      if (free_code < 3300) {
+        htab[h] = key;
+        codetab[h] = free_code;
+        free_code = free_code + 1;
+      }
+      prefix = c;
+    }
+  }
+  return out_check + out_count;
+}
+
+/* code stream produced by a compression round, then decompressed *
+ * via a parent-pointer dictionary walk (real LZW decode)          */
+int out_codes[16384];
+int n_codes;
+int dict_prefix[4096];
+int dict_char[4096];
+char stack_buf[4096];
+
+int compress_emit(int n) {
+  int i;
+  int free_code = 257;
+  int prefix;
+  HSIZE = 5003;
+  n_codes = 0;
+  for (i = 0; i < HSIZE; i++) { htab[i] = 0 - 1; codetab[i] = 0; }
+  for (i = 0; i < 257; i++) { dict_prefix[i] = 0 - 1; dict_char[i] = i; }
+  prefix = input[0];
+  for (i = 1; i < n; i++) {
+    int c = input[i];
+    int key = (c << 16) + prefix;
+    int h = ((c << 8) ^ prefix) % HSIZE;
+    int disp = 1 + (key % 97);
+    int found = 0 - 1;
+    while (htab[h] != (0 - 1)) {
+      if (htab[h] == key) { found = codetab[h]; break; }
+      h = h + disp;
+      if (h >= HSIZE) { h = h - HSIZE; }
+    }
+    if (found >= 0) {
+      prefix = found;
+    } else {
+      out_codes[n_codes] = prefix;
+      n_codes = n_codes + 1;
+      if (free_code < 3300) {
+        htab[h] = key;
+        codetab[h] = free_code;
+        dict_prefix[free_code] = prefix;
+        dict_char[free_code] = c;
+        free_code = free_code + 1;
+      }
+      prefix = c;
+    }
+  }
+  out_codes[n_codes] = prefix;
+  n_codes = n_codes + 1;
+  return n_codes;
+}
+
+int decompress_check() {
+  int i;
+  int check = 0;
+  for (i = 0; i < n_codes; i++) {
+    int code = out_codes[i];
+    int sp = 0;
+    /* walk the parent chain: data-dependent, unpredictable loads */
+    while (code >= 0 && sp < 4095) {
+      stack_buf[sp] = dict_char[code];
+      sp = sp + 1;
+      code = dict_prefix[code];
+    }
+    while (sp > 0) {
+      sp = sp - 1;
+      check = (check * 31 + stack_buf[sp]) & 0xFFFFFF;
+    }
+  }
+  return check;
+}
+
+int main() {
+  int r;
+  int total = 0;
+  make_input(16384);
+  for (r = 0; r < 8; r++) {
+    total = (total + compress_once(16384)) % 1000000007;
+  }
+  compress_emit(16384);
+  total = (total + decompress_check()) % 1000000007;
+  print_int(total);
+  return 0;
+}
+|}
+
+let sc =
+  Workload.make ~name:"072.sc" ~suite:Workload.Spec
+    ~description:
+      "spreadsheet recalculation: strided sweeps over the cell grid \
+       plus dependency chains through linked cell lists"
+    {|
+struct cell {
+  int value;
+  int formula;     /* 0 = constant, 1 = sum of deps */
+  struct cell *dep1;
+  struct cell *dep2;
+};
+
+struct cell grid[48 * 48];
+
+void init_grid() {
+  int r;
+  int c;
+  srand_set(3);
+  for (r = 0; r < 48; r++) {
+    for (c = 0; c < 48; c++) {
+      struct cell *p = &grid[r * 48 + c];
+      p->value = rand_next() % 100;
+      if (r > 0 && c > 0 && (rand_next() & 3) != 0) {
+        p->formula = 1;
+        p->dep1 = &grid[(r - 1) * 48 + c];
+        p->dep2 = &grid[r * 48 + (c - 1)];
+      } else {
+        p->formula = 0;
+        p->dep1 = (struct cell*)0;
+        p->dep2 = (struct cell*)0;
+      }
+    }
+  }
+}
+
+int recalc() {
+  int r;
+  int c;
+  int changed = 0;
+  for (r = 0; r < 48; r++) {
+    for (c = 0; c < 48; c++) {
+      struct cell *p = &grid[r * 48 + c];
+      if (p->formula == 1) {
+        int v = (p->dep1->value + p->dep2->value) & 0xFFFF;
+        if (v != p->value) {
+          p->value = v;
+          changed = changed + 1;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+int column_sum(int c) {
+  int r;
+  int s = 0;
+  for (r = 0; r < 48; r++) {
+    s = s + grid[r * 48 + c].value;
+  }
+  return s;
+}
+
+/* range functions over rectangular windows (strided with row jumps) */
+int range_max(int r0, int c0, int r1, int c1) {
+  int r;
+  int c;
+  int best = 0 - 2147483647;
+  for (r = r0; r <= r1; r++) {
+    for (c = c0; c <= c1; c++) {
+      int v = grid[r * 48 + c].value;
+      if (v > best) { best = v; }
+    }
+  }
+  return best;
+}
+
+/* undo log: a chain of edit records, walked on rollback */
+struct edit {
+  struct cell *target;
+  int old_value;
+  struct edit *next;
+};
+
+struct edit *undo_log;
+
+void record_edit(struct cell *p, int old_value) {
+  struct edit *e = (struct edit*)alloc_node(sizeof(struct edit));
+  e->target = p;
+  e->old_value = old_value;
+  e->next = undo_log;
+  undo_log = e;
+}
+
+int rollback(int limit) {
+  int n = 0;
+  struct edit *e = undo_log;
+  while (e && n < limit) {
+    e->target->value = e->old_value;
+    e = e->next;
+    n = n + 1;
+  }
+  undo_log = e;
+  return n;
+}
+
+void poke_cells(int seed) {
+  int k;
+  srand_set(seed);
+  for (k = 0; k < 40; k++) {
+    int r = rand_next() % 48;
+    int c = rand_next() % 48;
+    struct cell *p = &grid[r * 48 + c];
+    record_edit(p, p->value);
+    p->value = rand_next() % 100;
+  }
+}
+
+int main() {
+  int pass;
+  int total = 0;
+  init_grid();
+  undo_log = (struct edit*)0;
+  for (pass = 0; pass < 100; pass++) {
+    total = total + recalc();
+    total = (total + column_sum(pass % 48)) % 1000000007;
+    total = (total + range_max(pass % 20, pass % 16, (pass % 20) + 20, (pass % 16) + 20))
+            % 1000000007;
+    poke_cells(pass + 7);
+    if ((pass & 3) == 3) {
+      total = total + rollback(100);
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let cc1 =
+  Workload.make ~name:"085.cc1" ~suite:Workload.Spec
+    ~description:
+      "compiler front end: byte-stream tokenizer, AST construction, \
+       and recursive tree walks over node pointers"
+    {|
+char src[8192];
+int pos;
+
+struct node {
+  int kind;        /* 0 = leaf, 1 = add, 2 = mul */
+  int value;
+  struct node *left;
+  struct node *right;
+};
+
+void make_source(int n) {
+  int i;
+  srand_set(11);
+  /* pseudo-expression stream: digits and operators */
+  for (i = 0; i < n; i++) {
+    int r = rand_next() % 10;
+    if (r < 6) {
+      src[i] = '0' + (rand_next() % 10);
+    } else if (r < 8) {
+      src[i] = '+';
+    } else {
+      src[i] = '*';
+    }
+  }
+  src[n - 1] = '0';
+}
+
+struct node *leaf(int v) {
+  struct node *p = (struct node*)alloc_node(sizeof(struct node));
+  p->kind = 0;
+  p->value = v;
+  p->left = (struct node*)0;
+  p->right = (struct node*)0;
+  return p;
+}
+
+struct node *binop(int kind, struct node *l, struct node *r) {
+  struct node *p = (struct node*)alloc_node(sizeof(struct node));
+  p->kind = kind;
+  p->value = 0;
+  p->left = l;
+  p->right = r;
+  return p;
+}
+
+/* parse a flat stream into a left-leaning tree */
+struct node *parse(int n) {
+  struct node *t;
+  int c = src[pos];
+  pos = pos + 1;
+  t = leaf(c - '0');
+  while (pos < n - 1) {
+    int op = src[pos];
+    if (op != '+' && op != '*') {
+      pos = pos + 1;
+      continue;
+    }
+    pos = pos + 1;
+    if (pos >= n) { break; }
+    c = src[pos];
+    pos = pos + 1;
+    if (c >= '0' && c <= '9') {
+      t = binop(op == '+' ? 1 : 2, t, leaf(c - '0'));
+    }
+    if (pos >= n - 1) { break; }
+  }
+  return t;
+}
+
+int eval(struct node *t) {
+  /* iterative walk with an explicit stack of pending nodes */
+  struct node *stack[512];
+  int sp = 0;
+  int acc = 0;
+  stack[sp] = t;
+  sp = sp + 1;
+  while (sp > 0) {
+    struct node *p;
+    sp = sp - 1;
+    p = stack[sp];
+    if (p->kind == 0) {
+      acc = (acc + p->value) & 0xFFFFFF;
+    } else {
+      if (p->kind == 2) {
+        acc = (acc * 3 + 1) & 0xFFFFFF;
+      }
+      if (sp < 510) {
+        stack[sp] = p->left;
+        sp = sp + 1;
+        stack[sp] = p->right;
+        sp = sp + 1;
+      }
+    }
+  }
+  return acc;
+}
+
+int count_kinds(struct node *t, int kind) {
+  struct node *stack[512];
+  int sp = 0;
+  int n = 0;
+  stack[sp] = t;
+  sp = sp + 1;
+  while (sp > 0) {
+    struct node *p;
+    sp = sp - 1;
+    p = stack[sp];
+    if (p->kind == kind) { n = n + 1; }
+    if (p->kind != 0 && sp < 510) {
+      stack[sp] = p->left;
+      sp = sp + 1;
+      stack[sp] = p->right;
+      sp = sp + 1;
+    }
+  }
+  return n;
+}
+
+/* symbol table with chained buckets, as in a real front end */
+struct symbol {
+  int name_hash;
+  int refs;
+  struct symbol *next;
+};
+
+struct symbol *sym_buckets[64];
+
+struct symbol *intern(int name_hash) {
+  int b = name_hash & 63;
+  struct symbol *s = sym_buckets[b];
+  while (s) {
+    if (s->name_hash == name_hash) {
+      s->refs = s->refs + 1;
+      return s;
+    }
+    s = s->next;
+  }
+  s = (struct symbol*)alloc_node(sizeof(struct symbol));
+  s->name_hash = name_hash;
+  s->refs = 1;
+  s->next = sym_buckets[b];
+  sym_buckets[b] = s;
+  return s;
+}
+
+/* constant-fold: rewrite mul-of-leaves bottom-up with an explicit stack */
+int fold_constants(struct node *t) {
+  struct node *stack[512];
+  int sp = 0;
+  int folded = 0;
+  stack[sp] = t;
+  sp = sp + 1;
+  while (sp > 0) {
+    struct node *p;
+    sp = sp - 1;
+    p = stack[sp];
+    if (p->kind == 2 && p->left->kind == 0 && p->right->kind == 0) {
+      p->kind = 0;
+      p->value = (p->left->value * p->right->value) & 0xFFFFFF;
+      folded = folded + 1;
+    } else if (p->kind != 0 && sp < 510) {
+      stack[sp] = p->left;
+      sp = sp + 1;
+      stack[sp] = p->right;
+      sp = sp + 1;
+    }
+  }
+  return folded;
+}
+
+int main() {
+  int round;
+  int total = 0;
+  int b;
+  for (b = 0; b < 64; b++) { sym_buckets[b] = (struct symbol*)0; }
+  for (round = 0; round < 24; round++) {
+    struct node *t;
+    int i;
+    make_source(2048 + round);
+    pos = 0;
+    t = parse(2048 + round);
+    total = (total + eval(t)) % 1000000007;
+    total = (total + count_kinds(t, 1) * 7) % 1000000007;
+    total = (total + fold_constants(t)) % 1000000007;
+    total = (total + eval(t)) % 1000000007;
+    for (i = 0; i < 200; i++) {
+      struct symbol *s = intern((round * 131 + i * 17) % 1024);
+      total = (total + s->refs) % 1000000007;
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|}

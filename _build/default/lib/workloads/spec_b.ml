@@ -1,0 +1,947 @@
+(* SPEC-like workloads, second half: m88ksim, compress95, li95, ijpeg,
+   perl, vortex. *)
+
+let m88ksim =
+  Workload.make ~name:"124.m88ksim" ~suite:Workload.Spec
+    ~description:
+      "CPU simulator: sequential instruction fetch (strided), register \
+       file indexing, and simulated-memory indirection"
+    {|
+int imem[4096];
+int dmem[4096];
+int regs[32];
+
+void assemble_program() {
+  int i;
+  srand_set(17);
+  for (i = 0; i < 4096; i++) {
+    /* opcode:3 rd:5 rs:5 rt:5 imm:12 */
+    int opcode = rand_next() % 6;
+    int rd = 1 + (rand_next() % 31);
+    int rs = rand_next() % 32;
+    int rt = rand_next() % 32;
+    int imm = rand_next() % 4096;
+    imem[i] = (opcode << 27) + (rd << 22) + (rs << 17) + (rt << 12) + imm;
+    dmem[i] = rand_next();
+  }
+}
+
+int run_sim(int steps) {
+  int pc = 0;
+  int count = 0;
+  int i;
+  for (i = 0; i < 32; i++) { regs[i] = i * 3; }
+  while (count < steps) {
+    int insn = imem[pc];
+    int opcode = (insn >> 27) & 7;
+    int rd = (insn >> 22) & 31;
+    int rs = (insn >> 17) & 31;
+    int rt = (insn >> 12) & 31;
+    int imm = insn & 4095;
+    if (opcode == 0) {
+      regs[rd] = regs[rs] + regs[rt];
+    } else if (opcode == 1) {
+      regs[rd] = regs[rs] - regs[rt];
+    } else if (opcode == 2) {
+      regs[rd] = regs[rs] & regs[rt];
+    } else if (opcode == 3) {
+      regs[rd] = dmem[(regs[rs] + imm) & 4095];
+    } else if (opcode == 4) {
+      dmem[(regs[rs] + imm) & 4095] = regs[rt];
+    } else {
+      regs[rd] = imm << 4;
+    }
+    regs[0] = 0;
+    pc = pc + 1;
+    if (pc >= 4096) { pc = 0; }
+    count = count + 1;
+  }
+  return regs[7] + regs[13] + regs[29];
+}
+
+/* simulated translation cache: chained buckets keyed by page */
+struct tlb_entry {
+  int page;
+  int frame;
+  int uses;
+  struct tlb_entry *next;
+};
+
+struct tlb_entry *tlb[64];
+
+int translate(int addr) {
+  int page = (addr >> 6) & 4095;
+  int b = page & 63;
+  struct tlb_entry *e = tlb[b];
+  while (e) {
+    if (e->page == page) {
+      e->uses = e->uses + 1;
+      return (e->frame << 6) | (addr & 63);
+    }
+    e = e->next;
+  }
+  e = (struct tlb_entry*)alloc_node(sizeof(struct tlb_entry));
+  e->page = page;
+  e->frame = (page * 7 + 3) & 4095;
+  e->uses = 1;
+  e->next = tlb[b];
+  tlb[b] = e;
+  return (e->frame << 6) | (addr & 63);
+}
+
+/* second simulation loop with translation on memory operands */
+int run_sim_mmu(int steps) {
+  int pc = 0;
+  int count = 0;
+  int i;
+  for (i = 0; i < 32; i++) { regs[i] = i * 5 + 1; }
+  for (i = 0; i < 64; i++) { tlb[i] = (struct tlb_entry*)0; }
+  while (count < steps) {
+    int insn = imem[pc];
+    int opcode = (insn >> 27) & 7;
+    int rd = (insn >> 22) & 31;
+    int rs = (insn >> 17) & 31;
+    int rt = (insn >> 12) & 31;
+    int imm = insn & 4095;
+    if (opcode == 3) {
+      regs[rd] = dmem[translate(regs[rs] + imm) & 4095];
+    } else if (opcode == 4) {
+      dmem[translate(regs[rs] + imm) & 4095] = regs[rt];
+    } else if (opcode == 0) {
+      regs[rd] = regs[rs] + regs[rt];
+    } else {
+      regs[rd] = (regs[rs] ^ imm) + opcode;
+    }
+    regs[0] = 0;
+    pc = pc + 1;
+    if (pc >= 4096) { pc = 0; }
+    count = count + 1;
+  }
+  return regs[11] + regs[19];
+}
+
+/* opcode histogram over the whole image (strided sweep) */
+int histogram_check() {
+  int counts[8];
+  int i;
+  int check = 0;
+  for (i = 0; i < 8; i++) { counts[i] = 0; }
+  for (i = 0; i < 4096; i++) {
+    counts[(imem[i] >> 27) & 7] = counts[(imem[i] >> 27) & 7] + 1;
+  }
+  for (i = 0; i < 8; i++) { check = check * 31 + counts[i]; }
+  return check & 0xFFFFFF;
+}
+
+int main() {
+  int total;
+  assemble_program();
+  total = run_sim(90000);
+  total = total + run_sim_mmu(60000);
+  total = (total + histogram_check()) % 1000000007;
+  print_int(total);
+  print_int(dmem[1234]);
+  return 0;
+}
+|}
+
+let compress95 =
+  Workload.make ~name:"129.compress" ~suite:Workload.Spec
+    ~description:
+      "LZW compression over a larger, less compressible stream \
+       (hash probes dominate misses)"
+    {|
+int HSIZE;
+char input[24576];
+int htab[9001];
+int codetab[9001];
+
+void make_input(int n) {
+  int i;
+  srand_set(23);
+  for (i = 0; i < n; i++) {
+    int r = rand_next();
+    if ((r & 15) < 9) {
+      input[i] = 'a' + (r % 8);
+    } else {
+      input[i] = ' ' + (r % 64);
+    }
+  }
+}
+
+int compress_once(int n) {
+  int i;
+  int free_code = 257;
+  int prefix;
+  int out_count = 0;
+  int out_check = 0;
+  HSIZE = 9001;
+  for (i = 0; i < HSIZE; i++) {
+    htab[i] = 0 - 1;
+    codetab[i] = 0;
+  }
+  prefix = input[0];
+  for (i = 1; i < n; i++) {
+    int c = input[i];
+    int key = (c << 16) + prefix;
+    int h = ((c << 7) ^ (prefix * 3)) % HSIZE;
+    int disp = 1 + (key % 193);
+    int found = 0 - 1;
+    while (htab[h] != (0 - 1)) {
+      if (htab[h] == key) {
+        found = codetab[h];
+        break;
+      }
+      h = h + disp;
+      if (h >= HSIZE) { h = h - HSIZE; }
+    }
+    if (found >= 0) {
+      prefix = found;
+    } else {
+      out_count = out_count + 1;
+      out_check = (out_check * 33 + prefix) % 999979;
+      if (free_code < 6000) {
+        htab[h] = key;
+        codetab[h] = free_code;
+        free_code = free_code + 1;
+      }
+      prefix = c;
+    }
+  }
+  return out_check + out_count;
+}
+
+/* entropy estimate of the raw stream (byte-strided, predictable) */
+int byte_entropy(int n) {
+  int counts[256];
+  int i;
+  int check = 0;
+  for (i = 0; i < 256; i++) { counts[i] = 0; }
+  for (i = 0; i < n; i++) {
+    counts[input[i]] = counts[input[i]] + 1;
+  }
+  for (i = 0; i < 256; i++) {
+    int c = counts[i];
+    while (c > 0) { check = check + 1; c = c >> 1; }
+  }
+  return check;
+}
+
+/* run-length pre-pass over the input (strided with data-dependent exits) */
+int rle_scan(int n) {
+  int i = 0;
+  int runs = 0;
+  while (i < n) {
+    int c = input[i];
+    int j = i + 1;
+    while (j < n && input[j] == c) { j = j + 1; }
+    runs = runs + 1;
+    i = j;
+  }
+  return runs;
+}
+
+int main() {
+  int r;
+  int total = 0;
+  make_input(24576);
+  for (r = 0; r < 7; r++) {
+    total = (total + compress_once(24576)) % 1000000007;
+  }
+  total = (total + byte_entropy(24576)) % 1000000007;
+  total = (total + rle_scan(24576)) % 1000000007;
+  print_int(total);
+  return 0;
+}
+|}
+
+let li95 =
+  Workload.make ~name:"130.li" ~suite:Workload.Spec
+    ~description:
+      "lisp interpreter with a mark-and-sweep pass: cons chains, \
+       property lists, and free-list management (pointer heavy)"
+    {|
+struct cell {
+  int tag;
+  int mark;
+  int value;
+  struct cell *car;
+  struct cell *cdr;
+};
+
+struct cell *free_list;
+int heap_cells;
+
+struct cell *cell_pool;
+
+void init_heap(int n) {
+  int i;
+  heap_cells = n;
+  cell_pool = (struct cell*)alloc(n * sizeof(struct cell));
+  free_list = (struct cell*)0;
+  /* thread the free list in a shuffled order so cons chains are laid
+     out irregularly, as after real allocation and collection churn */
+  srand_set(97);
+  for (i = 0; i < n; i++) {
+    int j = (i * 2654435761 >> 7) % n;
+    if (j < 0) { j = 0 - j; }
+    struct cell *c = &cell_pool[j];
+    if (c->tag == 0 && c->cdr == (struct cell*)0 && c != free_list) {
+      c->mark = 0;
+      c->value = 0;
+      c->car = (struct cell*)0;
+      c->cdr = free_list;
+      free_list = c;
+    }
+  }
+  for (i = 0; i < n; i++) {
+    struct cell *c = &cell_pool[i];
+    if (c->cdr == (struct cell*)0 && c != free_list) {
+      c->tag = 0;
+      c->mark = 0;
+      c->value = 0;
+      c->car = (struct cell*)0;
+      c->cdr = free_list;
+      free_list = c;
+    }
+  }
+}
+
+struct cell *cons(struct cell *a, struct cell *d) {
+  struct cell *c = free_list;
+  if (c == (struct cell*)0) {
+    return (struct cell*)0;
+  }
+  free_list = c->cdr;
+  c->tag = 1;
+  c->car = a;
+  c->cdr = d;
+  return c;
+}
+
+struct cell *number(int v) {
+  struct cell *c = cons((struct cell*)0, (struct cell*)0);
+  if (c) {
+    c->tag = 0;
+    c->value = v;
+  }
+  return c;
+}
+
+void mark(struct cell *p) {
+  while (p && p->mark == 0) {
+    p->mark = 1;
+    if (p->tag == 1) {
+      mark(p->car);
+      p = p->cdr;
+    } else {
+      break;
+    }
+  }
+}
+
+int sweep() {
+  int i;
+  int reclaimed = 0;
+  free_list = (struct cell*)0;
+  for (i = 0; i < heap_cells; i++) {
+    struct cell *c = &cell_pool[i];
+    if (c->mark == 0) {
+      c->cdr = free_list;
+      c->tag = 0;
+      free_list = c;
+      reclaimed = reclaimed + 1;
+    } else {
+      c->mark = 0;
+    }
+  }
+  return reclaimed;
+}
+
+int list_sum(struct cell *p) {
+  int s = 0;
+  while (p) {
+    if (p->car && p->car->tag == 0) {
+      s = (s + p->car->value) & 0xFFFFFF;
+    }
+    p = p->cdr;
+  }
+  return s;
+}
+
+/* association lookup over a cons list of (key . value) pairs */
+struct cell *assq(struct cell *alist, int key) {
+  while (alist) {
+    struct cell *pair = alist->car;
+    if (pair && pair->tag == 1 && pair->car && pair->car->value == key) {
+      return pair;
+    }
+    alist = alist->cdr;
+  }
+  return (struct cell*)0;
+}
+
+struct cell *acons(struct cell *alist, int key, int value) {
+  struct cell *k = number(key);
+  struct cell *v = number(value);
+  struct cell *pair = cons(k, v);
+  if (pair == (struct cell*)0) { return alist; }
+  return cons(pair, alist);
+}
+
+int plist_phase(int round) {
+  struct cell *alist = (struct cell*)0;
+  int i;
+  int check = 0;
+  for (i = 0; i < 80; i++) {
+    alist = acons(alist, (round * 7 + i * 3) % 61, i);
+  }
+  for (i = 0; i < 200; i++) {
+    struct cell *hit = assq(alist, i % 61);
+    if (hit && hit->cdr) {
+      check = (check + hit->cdr->value) & 0xFFFFFF;
+    }
+  }
+  mark(alist);
+  return check;
+}
+
+int main() {
+  int round;
+  int total = 0;
+  init_heap(4000);
+  for (round = 0; round < 45; round++) {
+    struct cell *keep = (struct cell*)0;
+    int i;
+    for (i = 0; i < 250; i++) {
+      struct cell *n = number((round * 251 + i * 7) % 977);
+      if (n) {
+        keep = cons(n, keep);
+      }
+      /* garbage: dropped immediately */
+      number(i);
+    }
+    total = (total + list_sum(keep)) % 1000000007;
+    total = (total + plist_phase(round)) % 1000000007;
+    mark(keep);
+    total = (total + sweep()) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let ijpeg =
+  Workload.make ~name:"132.ijpeg" ~suite:Workload.Spec
+    ~description:
+      "JPEG-style block transforms: dense strided sweeps over 8x8 \
+       blocks with quantization tables"
+    {|
+int image[64 * 64];
+int block[64];
+int coeffs[64];
+int quant[64];
+
+void init_image() {
+  int i;
+  srand_set(29);
+  for (i = 0; i < 64 * 64; i++) {
+    image[i] = rand_next() % 256;
+  }
+  for (i = 0; i < 64; i++) {
+    quant[i] = 1 + (i / 8) + (i % 8);
+  }
+}
+
+void load_block(int bx, int by) {
+  int r;
+  int c;
+  for (r = 0; r < 8; r++) {
+    for (c = 0; c < 8; c++) {
+      block[r * 8 + c] = image[(by * 8 + r) * 64 + bx * 8 + c] - 128;
+    }
+  }
+}
+
+/* separable "DCT": butterfly-free integer approximation */
+void transform_rows() {
+  int r;
+  int k;
+  int c;
+  for (r = 0; r < 8; r++) {
+    for (k = 0; k < 8; k++) {
+      int acc = 0;
+      for (c = 0; c < 8; c++) {
+        int w = ((k + 1) * (2 * c + 1)) % 16 - 8;
+        acc = acc + block[r * 8 + c] * w;
+      }
+      coeffs[r * 8 + k] = acc >> 3;
+    }
+  }
+}
+
+void quantize() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    coeffs[i] = coeffs[i] / quant[i];
+  }
+}
+
+int entropy_estimate() {
+  int i;
+  int bits = 0;
+  for (i = 0; i < 64; i++) {
+    int v = coeffs[i];
+    if (v < 0) { v = 0 - v; }
+    while (v > 0) {
+      bits = bits + 1;
+      v = v >> 1;
+    }
+  }
+  return bits;
+}
+
+int zigzag[64] = {
+  0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+  12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+  35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+  58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63 };
+
+void transform_cols() {
+  int c;
+  int k;
+  int r;
+  for (c = 0; c < 8; c++) {
+    for (k = 0; k < 8; k++) {
+      int acc = 0;
+      for (r = 0; r < 8; r++) {
+        int w = ((k + 2) * (2 * r + 1)) % 16 - 8;
+        acc = acc + coeffs[r * 8 + c] * w;
+      }
+      block[k * 8 + c] = acc >> 4;
+    }
+  }
+}
+
+/* zigzag reordering: table-indirected loads (not linear) */
+int zigzag_check() {
+  int i;
+  int check = 0;
+  for (i = 0; i < 64; i++) {
+    check = (check * 17 + block[zigzag[i]]) & 0xFFFFFF;
+  }
+  return check;
+}
+
+int downsampled[32 * 32];
+
+void downsample() {
+  int r;
+  int c;
+  for (r = 0; r < 32; r++) {
+    for (c = 0; c < 32; c++) {
+      int s0 = image[(r * 2) * 64 + c * 2];
+      int s1 = image[(r * 2) * 64 + c * 2 + 1];
+      int s2 = image[(r * 2 + 1) * 64 + c * 2];
+      int s3 = image[(r * 2 + 1) * 64 + c * 2 + 1];
+      downsampled[r * 32 + c] = (s0 + s1 + s2 + s3) >> 2;
+    }
+  }
+}
+
+int downsample_check() {
+  int i;
+  int check = 0;
+  for (i = 0; i < 32 * 32; i++) {
+    check = (check + downsampled[i]) & 0xFFFFFF;
+  }
+  return check;
+}
+
+/* Huffman decode: bit-serial walks down a pointer-linked code trie.
+   Every step loads a child pointer whose base register was itself
+   just loaded — the serial, early-calculation-friendly load chains of
+   real JPEG entropy decoding. */
+struct huff_node {
+  int leaf;              /* -1 = internal */
+  struct huff_node *zero;
+  struct huff_node *one;
+};
+
+struct huff_node *huff_root;
+struct huff_node *huff_nodes[511];
+char bitstream[8192];
+
+void build_huffman() {
+  int i;
+  srand_set(47);
+  for (i = 0; i < 511; i++) {
+    struct huff_node *n = (struct huff_node*)alloc_node(sizeof(struct huff_node));
+    n->leaf = (i >= 200) ? (i & 63) : (0 - 1);
+    n->zero = (struct huff_node*)0;
+    n->one = (struct huff_node*)0;
+    huff_nodes[i] = n;
+  }
+  for (i = 0; i < 511; i++) {
+    huff_nodes[i]->zero = huff_nodes[(i * 2 + 1) % 511];
+    huff_nodes[i]->one = huff_nodes[(i * 2 + 2) % 511];
+  }
+  huff_root = huff_nodes[0];
+  for (i = 0; i < 8192; i++) {
+    bitstream[i] = rand_next() & 1;
+  }
+}
+
+int huffman_decode(int nbits) {
+  struct huff_node *node = huff_root;
+  int i;
+  int check = 0;
+  for (i = 0; i < nbits; i++) {
+    if (bitstream[i]) {
+      node = node->one;
+    } else {
+      node = node->zero;
+    }
+    if (node->leaf >= 0) {
+      check = (check * 31 + node->leaf) & 0xFFFFFF;
+      node = huff_root;
+    }
+  }
+  return check;
+}
+
+int main() {
+  int bx;
+  int by;
+  int pass;
+  int total = 0;
+  init_image();
+  build_huffman();
+  for (pass = 0; pass < 8; pass++) {
+    for (by = 0; by < 8; by++) {
+      for (bx = 0; bx < 8; bx++) {
+        load_block(bx, by);
+        transform_rows();
+        transform_cols();
+        quantize();
+        total = (total + entropy_estimate()) % 1000000007;
+        total = (total + zigzag_check()) % 1000000007;
+      }
+    }
+    downsample();
+    total = (total + downsample_check()) % 1000000007;
+    total = (total + huffman_decode(2048)) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let perl =
+  Workload.make ~name:"134.perl" ~suite:Workload.Spec
+    ~description:
+      "interpreter with chained hash tables: opcode dispatch over a \
+       bytecode array plus hash lookups through collision chains"
+    {|
+struct entry {
+  int key;
+  int value;
+  struct entry *next;
+};
+
+struct entry *buckets[256];
+int prog[4096];
+
+int hash_get(int key) {
+  struct entry *e = buckets[key & 255];
+  while (e) {
+    if (e->key == key) {
+      return e->value;
+    }
+    e = e->next;
+  }
+  return 0 - 1;
+}
+
+void hash_put(int key, int value) {
+  struct entry *e = buckets[key & 255];
+  while (e) {
+    if (e->key == key) {
+      e->value = value;
+      return;
+    }
+    e = e->next;
+  }
+  e = (struct entry*)alloc_node(sizeof(struct entry));
+  e->key = key;
+  e->value = value;
+  e->next = buckets[key & 255];
+  buckets[key & 255] = e;
+}
+
+void assemble(int n) {
+  int i;
+  srand_set(31);
+  for (i = 0; i < n; i++) {
+    prog[i] = (rand_next() % 5 << 16) + (rand_next() % 2048);
+  }
+}
+
+int interpret(int n) {
+  int pc;
+  int acc = 0;
+  for (pc = 0; pc < n; pc++) {
+    int insn = prog[pc];
+    int op = (insn >> 16) & 7;
+    int arg = insn & 65535;
+    if (op == 0) {
+      acc = (acc + arg) & 0xFFFFFF;
+    } else if (op == 1) {
+      hash_put(arg, acc);
+    } else if (op == 2) {
+      int v = hash_get(arg);
+      if (v >= 0) {
+        acc = (acc + v) & 0xFFFFFF;
+      }
+    } else if (op == 3) {
+      acc = (acc * 17 + 5) & 0xFFFFFF;
+    } else {
+      int v = hash_get((arg * 7) % 2048);
+      acc = (acc ^ (v + 1)) & 0xFFFFF;
+    }
+  }
+  return acc;
+}
+
+char text[4096];
+
+void make_text(int seed) {
+  int i;
+  srand_set(seed);
+  for (i = 0; i < 4096; i++) {
+    int r = rand_next() % 30;
+    if (r < 26) { text[i] = 'a' + r; } else { text[i] = ' '; }
+  }
+}
+
+/* substring scan: byte loads with data-dependent inner loop */
+int count_pattern(char *pat, int patlen, int n) {
+  int i;
+  int found = 0;
+  for (i = 0; i + patlen <= n; i++) {
+    int j = 0;
+    while (j < patlen && text[i + j] == pat[j]) { j = j + 1; }
+    if (j == patlen) { found = found + 1; }
+  }
+  return found;
+}
+
+/* tiny stack machine over the same bytecode (value stack in memory) */
+int stack_eval(int n) {
+  int stack[64];
+  int sp = 0;
+  int pc;
+  int check = 0;
+  for (pc = 0; pc < n; pc++) {
+    int insn = prog[pc];
+    int op = (insn >> 16) & 7;
+    int arg = insn & 65535;
+    if (op == 0 || op == 3) {
+      if (sp < 64) { stack[sp] = arg; sp = sp + 1; }
+    } else if (sp >= 2) {
+      int b = stack[sp - 1];
+      int a = stack[sp - 2];
+      sp = sp - 1;
+      if (op == 1) { stack[sp - 1] = (a + b) & 0xFFFFFF; }
+      else if (op == 2) { stack[sp - 1] = (a ^ b) & 0xFFFFF; }
+      else { stack[sp - 1] = (a * 3 + b) & 0xFFFFFF; }
+    }
+    if (sp == 64) {
+      int k;
+      for (k = 0; k < 64; k++) { check = (check + stack[k]) & 0xFFFFFF; }
+      sp = 0;
+    }
+  }
+  while (sp > 0) { sp = sp - 1; check = (check + stack[sp]) & 0xFFFFFF; }
+  return check;
+}
+
+char pat1[4] = "the";
+char pat2[3] = "ab";
+
+int main() {
+  int round;
+  int total = 0;
+  int i;
+  for (i = 0; i < 256; i++) {
+    buckets[i] = (struct entry*)0;
+  }
+  assemble(4096);
+  make_text(19);
+  for (round = 0; round < 28; round++) {
+    total = (total + interpret(4096)) % 1000000007;
+    total = (total + stack_eval(4096)) % 1000000007;
+    total = (total + count_pattern(pat1, 3, 4096)) % 1000000007;
+    total = (total + count_pattern(pat2, 2, 4096)) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let vortex =
+  Workload.make ~name:"147.vortex" ~suite:Workload.Spec
+    ~description:
+      "object database: record allocation, index lookups and long \
+       reference traversals (early-calculation heavy)"
+    {|
+struct obj {
+  int id;
+  int kind;
+  int payload;
+  struct obj *parent;
+  struct obj *sibling;
+  struct obj *link;
+};
+
+struct obj *objects[2048];
+int nobjects;
+
+struct obj *new_obj(int id, int kind) {
+  struct obj *o = (struct obj*)alloc_node(sizeof(struct obj));
+  o->id = id;
+  o->kind = kind;
+  o->payload = id * 2654435761;
+  o->parent = (struct obj*)0;
+  o->sibling = (struct obj*)0;
+  o->link = (struct obj*)0;
+  return o;
+}
+
+void build_db(int n) {
+  int i;
+  srand_set(37);
+  nobjects = n;
+  for (i = 0; i < n; i++) {
+    objects[i] = new_obj(i, rand_next() % 5);
+  }
+  for (i = 1; i < n; i++) {
+    objects[i]->parent = objects[rand_next() % i];
+    objects[i]->sibling = objects[(i * 31 + 7) % n];
+    objects[i]->link = objects[(i + 1) % n];
+  }
+  objects[0]->parent = objects[0];
+  objects[0]->link = objects[1 % n];
+}
+
+int chase_parents(int start, int limit) {
+  struct obj *o = objects[start];
+  int depth = 0;
+  int check = 0;
+  while (o->id != 0 && depth < limit) {
+    check = (check + o->payload) & 0xFFFFFF;
+    o = o->parent;
+    depth = depth + 1;
+  }
+  return check + depth;
+}
+
+int walk_links(int start, int steps) {
+  struct obj *o = objects[start];
+  int check = 0;
+  int i;
+  for (i = 0; i < steps; i++) {
+    check = (check ^ o->payload) + o->kind;
+    o = o->link;
+  }
+  return check & 0xFFFFFF;
+}
+
+int kind_census() {
+  int counts[5];
+  int i;
+  int check = 0;
+  for (i = 0; i < 5; i++) { counts[i] = 0; }
+  for (i = 0; i < nobjects; i++) {
+    counts[objects[i]->kind] = counts[objects[i]->kind] + 1;
+  }
+  for (i = 0; i < 5; i++) {
+    check = check * 31 + counts[i];
+  }
+  return check & 0xFFFFFF;
+}
+
+/* binary search tree index over object payloads */
+struct tree_node {
+  int key;
+  struct obj *object;
+  struct tree_node *left;
+  struct tree_node *right;
+};
+
+struct tree_node *index_root;
+
+void index_insert(struct obj *o) {
+  struct tree_node **slot = &index_root;
+  while (*slot) {
+    struct tree_node *n = *slot;
+    if (o->payload < n->key) { slot = &n->left; }
+    else { slot = &n->right; }
+  }
+  struct tree_node *n = (struct tree_node*)alloc_node(sizeof(struct tree_node));
+  n->key = o->payload;
+  n->object = o;
+  n->left = (struct tree_node*)0;
+  n->right = (struct tree_node*)0;
+  *slot = n;
+}
+
+struct obj *index_lookup(int key) {
+  struct tree_node *n = index_root;
+  while (n) {
+    if (key == n->key) { return n->object; }
+    if (key < n->key) { n = n->left; } else { n = n->right; }
+  }
+  return (struct obj*)0;
+}
+
+void build_index(int n) {
+  int i;
+  index_root = (struct tree_node*)0;
+  for (i = 0; i < n; i++) {
+    index_insert(objects[(i * 37 + 13) % n]);
+  }
+}
+
+/* a transaction: lookup, mutate payloads, relink a few siblings */
+int transaction(int seed) {
+  int k;
+  int check = 0;
+  srand_set(seed);
+  for (k = 0; k < 20; k++) {
+    int key = objects[rand_next() % nobjects]->payload;
+    struct obj *o = index_lookup(key);
+    if (o) {
+      o->payload = (o->payload + 1) & 0xFFFFFF;
+      o->sibling = objects[(o->id * 19 + k) % nobjects];
+      check = (check + o->kind) & 0xFFFFFF;
+    }
+  }
+  return check;
+}
+
+int main() {
+  int round;
+  int total = 0;
+  build_db(2048);
+  build_index(2048);
+  for (round = 0; round < 40; round++) {
+    total = (total + chase_parents((round * 97 + 5) % 2048, 400)) % 1000000007;
+    total = (total + walk_links((round * 53 + 11) % 2048, 600)) % 1000000007;
+    total = (total + kind_census()) % 1000000007;
+    total = (total + transaction(round + 3)) % 1000000007;
+  }
+  print_int(total);
+  return 0;
+}
+|}

@@ -1,0 +1,46 @@
+(* The full workload suites, in the order the paper's tables list
+   them.  Expected emulator outputs (pinned in {!Expected}) are
+   attached here so every consumer self-checks. *)
+
+let with_expected (w : Workload.t) =
+  match Expected.find w.Workload.name with
+  | Some out -> { w with Workload.expected_output = Some out }
+  | None -> w
+
+let spec : Workload.t list =
+  List.map with_expected
+  [ Spec_a.espresso
+  ; Spec_a.li
+  ; Spec_a.eqntott
+  ; Spec_a.compress92
+  ; Spec_a.sc
+  ; Spec_a.cc1
+  ; Spec_b.m88ksim
+  ; Spec_b.compress95
+  ; Spec_b.li95
+  ; Spec_b.ijpeg
+  ; Spec_b.perl
+  ; Spec_b.vortex ]
+
+let media : Workload.t list =
+  List.map with_expected
+  [ Media_a.g721_decode
+  ; Media_a.g721_encode
+  ; Media_a.epic_decode
+  ; Media_a.epic_encode
+  ; Media_b.ghostscript
+  ; Media_a.gsm_decode
+  ; Media_a.gsm_encode
+  ; Media_b.mpeg_decode
+  ; Media_b.pgp_decode
+  ; Media_b.pgp_encode
+  ; Media_b.rasta
+  ; Media_a.adpcm_decode
+  ; Media_a.adpcm_encode ]
+
+let all = spec @ media
+
+let find name =
+  match List.find_opt (fun (w : Workload.t) -> w.Workload.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg ("Suite.find: unknown workload " ^ name)

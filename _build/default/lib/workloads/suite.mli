@@ -1,0 +1,13 @@
+(** The full workload suites, in the order the paper's tables list
+    them, with pinned expected outputs attached. *)
+
+val spec : Workload.t list
+(** The 12 SPEC92/95-like kernels (paper Table 2/3, Figure 5). *)
+
+val media : Workload.t list
+(** The 13 MediaBench-like kernels (paper Table 4). *)
+
+val all : Workload.t list
+
+val find : string -> Workload.t
+(** By exact name; raises [Invalid_argument] if unknown. *)

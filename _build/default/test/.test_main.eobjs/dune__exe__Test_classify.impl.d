@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Elag_core Elag_ir Elag_isa Elag_minic Elag_opt Fmt List

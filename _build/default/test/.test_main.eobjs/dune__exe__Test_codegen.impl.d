@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Elag_codegen Elag_harness Elag_ir Elag_isa Elag_sim Elag_workloads Fun List Printf String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Elag_harness Elag_isa Elag_sim Elag_workloads List

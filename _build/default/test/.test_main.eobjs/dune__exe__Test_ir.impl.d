@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Elag_ir Elag_isa List

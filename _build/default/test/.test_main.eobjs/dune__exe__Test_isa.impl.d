@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Elag_isa List QCheck QCheck_alcotest Test

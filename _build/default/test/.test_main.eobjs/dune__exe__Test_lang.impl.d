@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Elag_harness Elag_opt Elag_sim Elag_workloads List Printf

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_classify Test_codegen Test_harness Test_ir Test_isa Test_lang Test_minic Test_opt Test_predict Test_properties Test_sim Test_workloads

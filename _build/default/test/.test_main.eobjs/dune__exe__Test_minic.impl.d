@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Elag_minic List Printf String

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Elag_ir Elag_isa Elag_minic Elag_opt Hashtbl List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_predict.ml: Alcotest Elag_predict List Option QCheck QCheck_alcotest Random Test

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Elag_harness Elag_isa Elag_minic Elag_sim Elag_workloads Gen List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Elag_harness Elag_isa Elag_sim Elag_workloads Fun List

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Elag_harness Elag_sim Elag_workloads List

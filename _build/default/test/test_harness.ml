@@ -1,0 +1,118 @@
+(* Harness tests: profiling and profile-guided reclassification, the
+   shared experiment context, and distribution accounting. *)
+
+module Compile = Elag_harness.Compile
+module Profile = Elag_harness.Profile
+module Context = Elag_harness.Context
+module Insn = Elag_isa.Insn
+module Program = Elag_isa.Program
+module Config = Elag_sim.Config
+module Suite = Elag_workloads.Suite
+module Workload = Elag_workloads.Workload
+module Runtime = Elag_workloads.Runtime
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A program with one hot, perfectly strided load that the compiler
+   misclassifies as ld_n (its base register is loaded from memory). *)
+let misclassified_src =
+  Runtime.with_prelude
+    "int data[1024];\n\
+     int base_holder;\n\
+     int main() {\n\
+     int i; int s = 0;\n\
+     base_holder = (int)data;\n\
+     for (i = 0; i < 1024; i++) {\n\
+       int *p = (int*)base_holder;   /* load-dependent base */\n\
+       s = s + p[i];\n\
+     }\n\
+     print_int(s);\n\
+     return 0; }"
+
+let test_profile_collects_rates () =
+  let program = Compile.compile misclassified_src in
+  let prof = Profile.collect program in
+  check_bool "loads observed" true (prof.Profile.total_loads > 1000);
+  (* at least one load should be highly predictable *)
+  let has_predictable =
+    List.exists
+      (fun (pc, _) ->
+        match Profile.rate prof pc with Some r -> r > 0.9 | None -> false)
+      (Program.static_loads program)
+  in
+  check_bool "predictable load found" true has_predictable
+
+let test_reclassify_upgrades_nt () =
+  let program = Compile.compile misclassified_src in
+  let prof = Profile.collect program in
+  let reclassified = Profile.reclassify prof program in
+  let count spec p =
+    List.length
+      (List.filter
+         (fun (pc, _) ->
+           Insn.load_spec (Program.insn p pc) = Some spec
+           && Profile.executions prof pc > 100)
+         (Program.static_loads p))
+  in
+  (* hot ld_n loads with high rates must become ld_p *)
+  check_bool "hot ld_n loads reduced" true
+    (count Insn.Ld_n reclassified < count Insn.Ld_n program
+     || count Insn.Ld_n program = 0);
+  (* nothing else is overruled: ld_e loads unchanged *)
+  List.iter
+    (fun (pc, insn) ->
+      match Insn.load_spec insn with
+      | Some Insn.Ld_e ->
+        check_bool "ld_e untouched" true
+          (Insn.load_spec (Program.insn reclassified pc) = Some Insn.Ld_e)
+      | _ -> ())
+    (Program.static_loads program)
+
+let test_reclassify_threshold () =
+  let program = Compile.compile misclassified_src in
+  let prof = Profile.collect program in
+  (* with an impossible threshold nothing changes *)
+  let unchanged = Profile.reclassify ~threshold:1.1 prof program in
+  List.iter
+    (fun (pc, insn) ->
+      check_bool "no change at threshold > 1" true
+        (Insn.load_spec (Program.insn unchanged pc) = Insn.load_spec insn))
+    (Program.static_loads program)
+
+let test_context_caches () =
+  let w = Suite.find "PGP Encode" in
+  let e1 = Context.get w in
+  let e2 = Context.get w in
+  check_bool "entries cached" true (e1 == e2);
+  let s1 = Context.simulate e1 Config.No_early in
+  let s2 = Context.simulate e1 Config.No_early in
+  check_bool "simulations cached" true (s1 == s2)
+
+let test_distribution_sums () =
+  let w = Suite.find "PGP Encode" in
+  let e = Context.get w in
+  let d = Context.distribution e in
+  let close a b = abs_float (a -. b) < 0.01 in
+  check_bool "static sums to 100" true
+    (close (d.Context.static_nt +. d.Context.static_pd +. d.Context.static_ec) 100.);
+  check_bool "dynamic sums to 100" true
+    (close (d.Context.dynamic_nt +. d.Context.dynamic_pd +. d.Context.dynamic_ec) 100.);
+  check_bool "dynamic loads counted" true (d.Context.total_dynamic_loads > 10_000)
+
+let test_speedup_sane () =
+  let w = Suite.find "PGP Encode" in
+  let e = Context.get w in
+  let s =
+    Context.speedup e
+      (Config.Dual { table_entries = 256; selection = Config.Compiler_directed })
+  in
+  check_bool "speedup in a sane band" true (s >= 0.9 && s <= 3.0)
+
+let suite =
+  [ Alcotest.test_case "profile rates" `Quick test_profile_collects_rates
+  ; Alcotest.test_case "reclassify upgrades" `Quick test_reclassify_upgrades_nt
+  ; Alcotest.test_case "reclassify threshold" `Quick test_reclassify_threshold
+  ; Alcotest.test_case "context caching" `Quick test_context_caches
+  ; Alcotest.test_case "distribution sums" `Quick test_distribution_sums
+  ; Alcotest.test_case "speedup sane" `Quick test_speedup_sane ]

@@ -1,0 +1,219 @@
+(* Front-end unit tests: lexer tokens, parser shapes and precedence,
+   semantic analysis (types, errors, address-taken marking). *)
+
+module Lexer = Elag_minic.Lexer
+module Parser = Elag_minic.Parser
+module Ast = Elag_minic.Ast
+module Sema = Elag_minic.Sema
+module Typed = Elag_minic.Typed
+module Structs = Elag_minic.Structs
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- lexer ---------------------------------------------------------- *)
+
+let tokens src = List.map (fun t -> t.Lexer.token) (Lexer.tokenize src)
+
+let test_lexer_basics () =
+  (match tokens "int x = 42;" with
+  | [ Lexer.KW_INT; Lexer.IDENT "x"; Lexer.EQ; Lexer.INT_LIT 42; Lexer.SEMI; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "basic declaration tokens");
+  (match tokens "0x1F" with
+  | [ Lexer.INT_LIT 31; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "hex literal");
+  match tokens "'a' '\\n' \"hi\\n\"" with
+  | [ Lexer.CHAR_LIT 'a'; Lexer.CHAR_LIT '\n'; Lexer.STR_LIT "hi\n"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "char and string literals"
+
+let test_lexer_operators () =
+  match tokens "a<<=b" with
+  | [ Lexer.IDENT "a"; Lexer.SHL; Lexer.EQ; Lexer.IDENT "b"; Lexer.EOF ] -> ()
+  | _ -> Alcotest.fail "maximal munch"
+
+let test_lexer_comments () =
+  check "line comment" 2 (List.length (tokens "x // comment\n"));
+  check "block comment" 2 (List.length (tokens "/* a /  * b */ x"))
+
+let test_lexer_line_numbers () =
+  let toks = Lexer.tokenize "a\nb\n\nc" in
+  let lines = List.map (fun t -> t.Lexer.line) toks in
+  Alcotest.(check (list int)) "line tracking" [ 1; 2; 4; 4 ] lines
+
+let test_lexer_errors () =
+  Alcotest.check_raises "bad char" (Lexer.Error ("unexpected character '@'", 1))
+    (fun () -> ignore (Lexer.tokenize "@"));
+  check_bool "unterminated string raises" true
+    (try ignore (Lexer.tokenize "\"abc"); false with Lexer.Error _ -> true)
+
+(* --- parser --------------------------------------------------------- *)
+
+let parse_expr_of src =
+  (* wrap in a function returning the expression *)
+  match Parser.parse (Printf.sprintf "int main() { return %s; }" src) with
+  | [ Ast.Dfunc { body = [ { sdesc = Ast.Sreturn (Some e); _ } ]; _ } ] -> e
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+let rec expr_to_string (e : Ast.expr) =
+  match e.Ast.desc with
+  | Ast.Int_lit n -> string_of_int n
+  | Ast.Var v -> v
+  | Ast.Binop (op, a, b) ->
+    Printf.sprintf "(%s%s%s)" (expr_to_string a) (Ast.binop_name op) (expr_to_string b)
+  | Ast.Unop (op, a) -> Printf.sprintf "(%s%s)" (Ast.unop_name op) (expr_to_string a)
+  | Ast.Assign (a, b) -> Printf.sprintf "(%s=%s)" (expr_to_string a) (expr_to_string b)
+  | Ast.Cond (c, t, f) ->
+    Printf.sprintf "(%s?%s:%s)" (expr_to_string c) (expr_to_string t) (expr_to_string f)
+  | Ast.Index (a, i) -> Printf.sprintf "%s[%s]" (expr_to_string a) (expr_to_string i)
+  | Ast.Deref a -> Printf.sprintf "(*%s)" (expr_to_string a)
+  | Ast.Addr_of a -> Printf.sprintf "(&%s)" (expr_to_string a)
+  | Ast.Field (a, f) -> Printf.sprintf "%s.%s" (expr_to_string a) f
+  | Ast.Arrow (a, f) -> Printf.sprintf "%s->%s" (expr_to_string a) f
+  | Ast.Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat "," (List.map expr_to_string args))
+  | _ -> "?"
+
+let check_parse src expected =
+  Alcotest.(check string) src expected (expr_to_string (parse_expr_of src))
+
+let test_precedence () =
+  check_parse "1 + 2 * 3" "(1+(2*3))";
+  check_parse "1 * 2 + 3" "((1*2)+3)";
+  check_parse "1 << 2 + 3" "(1<<(2+3))";
+  check_parse "1 < 2 == 3 < 4" "((1<2)==(3<4))";
+  check_parse "1 & 2 | 3 ^ 4" "((1&2)|(3^4))";
+  check_parse "a && b || c" "((a&&b)||c)";
+  check_parse "1 - 2 - 3" "((1-2)-3)";
+  check_parse "a = b = c" "(a=(b=c))"
+
+let test_unary_and_postfix () =
+  check_parse "-a + b" "((-a)+b)";
+  check_parse "!a && b" "((!a)&&b)";
+  check_parse "*p + 1" "((*p)+1)";
+  check_parse "&a[1]" "(&a[1])";
+  check_parse "a[1][2]" "a[1][2]";
+  check_parse "p->x" "p->x";
+  check_parse "a.b.c" "a.b.c"
+
+let test_sugar () =
+  (* compound assignment and increments desugar to plain assignments *)
+  check_parse "a += 2" "(a=(a+2))";
+  check_parse "a++" "(a=(a+1))";
+  check_parse "--a" "(a=(a-1))";
+  check_parse "a ? b : c" "(a?b:c)"
+
+let test_array_dims () =
+  match Parser.parse "int m[4 * 8 + 2];" with
+  | [ Ast.Dglobal { global_ty = Ast.Tarray (Ast.Tint, 34); _ } ] -> ()
+  | _ -> Alcotest.fail "constant-expression dimension"
+
+let test_struct_and_params () =
+  let prog =
+    Parser.parse
+      "struct p { int x; int y; };\n\
+       int f(struct p *q, int n) { return q->x + n; }\n\
+       int main() { return 0; }"
+  in
+  check "three declarations" 3 (List.length prog);
+  match prog with
+  | Ast.Dstruct { fields; _ } :: Ast.Dfunc { params; _ } :: _ ->
+    check "two fields" 2 (List.length fields);
+    check "two params" 2 (List.length params)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_parser_errors () =
+  let fails src = try ignore (Parser.parse src); false with Parser.Error _ -> true in
+  check_bool "missing semicolon" true (fails "int main() { return 0 }");
+  check_bool "unbalanced paren" true (fails "int main() { return (1; }");
+  check_bool "bad toplevel" true (fails "42;")
+
+(* --- sema ------------------------------------------------------------ *)
+
+let infer src = Sema.check (Parser.parse src)
+
+let sema_fails src =
+  try ignore (infer src); false with Sema.Error _ -> true
+
+let test_sema_accepts_valid () =
+  let p =
+    infer
+      "struct node { int v; struct node *next; };\n\
+       int g;\n\
+       int add(int a, int b) { return a + b; }\n\
+       int main() { struct node n; n.v = add(g, 2); return n.v; }"
+  in
+  check "two functions" 2 (List.length p.Typed.funcs)
+
+let test_sema_rejects () =
+  check_bool "unknown variable" true (sema_fails "int main() { return y; }");
+  check_bool "unknown function" true (sema_fails "int main() { return f(); }");
+  check_bool "arity mismatch" true
+    (sema_fails "int f(int a) { return a; } int main() { return f(); }");
+  check_bool "assign to rvalue" true (sema_fails "int main() { 1 = 2; return 0; }");
+  check_bool "deref of int" true (sema_fails "int main() { int x; return *x; }");
+  check_bool "unknown field" true
+    (sema_fails "struct s { int a; }; int main() { struct s v; return v.b; }");
+  check_bool "break outside loop" true (sema_fails "int main() { break; return 0; }");
+  check_bool "duplicate local" true
+    (sema_fails "int main() { int x; int x; return 0; }");
+  check_bool "missing main" true (sema_fails "int f() { return 0; }");
+  check_bool "void variable" true (sema_fails "int main() { void v; return 0; }")
+
+let test_sema_addr_taken () =
+  let p =
+    infer
+      "int main() { int a; int b; int *p; p = &a; b = a; return *p + b; }"
+  in
+  let main = List.hd p.Typed.funcs in
+  let local name =
+    List.find (fun (l : Typed.local) -> l.Typed.local_name = name) main.Typed.locals
+  in
+  check_bool "a is address-taken" true (local "a").Typed.addr_taken;
+  check_bool "b is not" false (local "b").Typed.addr_taken;
+  check_bool "p is not" false (local "p").Typed.addr_taken
+
+let test_sema_array_decay () =
+  (* arrays decay to pointers as arguments and in arithmetic *)
+  let p =
+    infer
+      "int sum(int *v, int n) { return v[n-1]; }\n\
+       int main() { int a[4]; a[0] = 1; return sum(a, 4); }"
+  in
+  check "compiled" 2 (List.length p.Typed.funcs)
+
+let test_sema_string_interning () =
+  let p =
+    infer "int main() { char *a; char *b; a = \"x\"; b = \"x\"; return 0; }"
+  in
+  check "same literal interned once" 1 (List.length p.Typed.strings)
+
+let test_struct_layout () =
+  let t = Structs.create () in
+  Structs.define t
+    { Ast.struct_name = "mix"
+    ; fields = [ (Ast.Tchar, "c"); (Ast.Tint, "i"); (Ast.Tchar, "d") ]
+    ; struct_line = 1 };
+  check "char at 0" 0 (Structs.field t ~struct_name:"mix" ~field_name:"c").Structs.offset;
+  check "int aligned to 4" 4 (Structs.field t ~struct_name:"mix" ~field_name:"i").Structs.offset;
+  check "trailing char" 8 (Structs.field t ~struct_name:"mix" ~field_name:"d").Structs.offset;
+  check "size rounded to align" 12 (Structs.size_of t (Ast.Tstruct "mix"));
+  check "array of structs" 36 (Structs.size_of t (Ast.Tarray (Ast.Tstruct "mix", 3)))
+
+let suite =
+  [ Alcotest.test_case "lexer: basics" `Quick test_lexer_basics
+  ; Alcotest.test_case "lexer: operators" `Quick test_lexer_operators
+  ; Alcotest.test_case "lexer: comments" `Quick test_lexer_comments
+  ; Alcotest.test_case "lexer: lines" `Quick test_lexer_line_numbers
+  ; Alcotest.test_case "lexer: errors" `Quick test_lexer_errors
+  ; Alcotest.test_case "parser: precedence" `Quick test_precedence
+  ; Alcotest.test_case "parser: unary/postfix" `Quick test_unary_and_postfix
+  ; Alcotest.test_case "parser: sugar" `Quick test_sugar
+  ; Alcotest.test_case "parser: array dims" `Quick test_array_dims
+  ; Alcotest.test_case "parser: structs/params" `Quick test_struct_and_params
+  ; Alcotest.test_case "parser: errors" `Quick test_parser_errors
+  ; Alcotest.test_case "sema: accepts valid" `Quick test_sema_accepts_valid
+  ; Alcotest.test_case "sema: rejects invalid" `Quick test_sema_rejects
+  ; Alcotest.test_case "sema: address taken" `Quick test_sema_addr_taken
+  ; Alcotest.test_case "sema: array decay" `Quick test_sema_array_decay
+  ; Alcotest.test_case "sema: string interning" `Quick test_sema_string_interning
+  ; Alcotest.test_case "sema: struct layout" `Quick test_struct_layout ]

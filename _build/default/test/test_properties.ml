@@ -1,0 +1,170 @@
+(* Cross-cutting property and fuzz tests: the front end never crashes
+   on arbitrary input, hardware models obey their invariants, and the
+   timing model respects structural bounds on real workloads. *)
+
+module Insn = Elag_isa.Insn
+module Alu = Elag_isa.Alu
+module Lexer = Elag_minic.Lexer
+module Parser = Elag_minic.Parser
+module Sema = Elag_minic.Sema
+module Cache = Elag_sim.Cache
+module Memory = Elag_sim.Memory
+module Config = Elag_sim.Config
+module Pipeline = Elag_sim.Pipeline
+module Compile = Elag_harness.Compile
+module Suite = Elag_workloads.Suite
+module Workload = Elag_workloads.Workload
+
+let check_bool = Alcotest.(check bool)
+
+(* --- front-end fuzz -------------------------------------------------- *)
+
+(* Arbitrary strings over a C-ish alphabet: the lexer either tokenizes
+   or raises its error; it never crashes or loops. *)
+let lexer_never_crashes =
+  let alphabet = "abz019 \n\t(){}[];,.+-*/%<>=!&|^~'\"\\#@?:" in
+  let gen =
+    QCheck.Gen.(
+      string_size ~gen:(map (String.get alphabet) (int_bound (String.length alphabet - 1)))
+        (int_bound 200))
+  in
+  QCheck.Test.make ~name:"lexer total on arbitrary input" ~count:1000
+    (QCheck.make gen)
+    (fun s ->
+      match Lexer.tokenize s with
+      | _ -> true
+      | exception Lexer.Error _ -> true)
+
+(* The parser is total over arbitrary strings too (wrapping lexical
+   errors in its own exception). *)
+let parser_never_crashes =
+  let alphabet = "intcharvoidstructifwhilemain(){}[];,+-*=<> 09ab" in
+  let gen =
+    QCheck.Gen.(
+      string_size ~gen:(map (String.get alphabet) (int_bound (String.length alphabet - 1)))
+        (int_bound 150))
+  in
+  QCheck.Test.make ~name:"parser total on arbitrary input" ~count:1000
+    (QCheck.make gen)
+    (fun s ->
+      match Parser.parse s with
+      | _ -> true
+      | exception Parser.Error _ -> true)
+
+(* Sema is total over whatever parses. *)
+let sema_never_crashes =
+  let fragments =
+    [| "int g;"; "char c;"; "struct s { int a; };"; "int f(int x) { return x; }"
+     ; "int main() { return 0; }"; "int main() { int x; return *&x; }"
+     ; "int main() { break; }"; "int main() { return y; }"
+     ; "void v() { }"; "int a[4];"; "int main() { return f(1,2,3); }" |]
+  in
+  let gen =
+    QCheck.Gen.(
+      map (String.concat " ")
+        (list_size (int_bound 6) (map (Array.get fragments) (int_bound (Array.length fragments - 1)))))
+  in
+  QCheck.Test.make ~name:"sema total on parsed input" ~count:500 (QCheck.make gen)
+    (fun s ->
+      match Sema.check (Parser.parse s) with
+      | _ -> true
+      | exception Parser.Error _ -> true
+      | exception Sema.Error _ -> true)
+
+(* --- hardware-model invariants ---------------------------------------- *)
+
+let cache_invariants =
+  QCheck.Test.make ~name:"cache: access implies probe hit; probe is pure" ~count:500
+    QCheck.(make Gen.(list_size (int_bound 64) (int_bound 1_000_000)))
+    (fun addrs ->
+      let c = Cache.create ~size_bytes:1024 ~line_bytes:64 () in
+      List.for_all
+        (fun addr ->
+          ignore (Cache.access c addr);
+          let p1 = Cache.probe c addr in
+          let p2 = Cache.probe c addr in
+          p1 && p1 = p2)
+        addrs)
+
+let memory_roundtrip =
+  QCheck.Test.make ~name:"memory: word roundtrip through bytes" ~count:500
+    QCheck.(make Gen.(pair (int_bound 4000) int))
+    (fun (addr, v) ->
+      let m = Memory.create ~size:8192 () in
+      Memory.write_word m addr v;
+      let w = Memory.read_word m addr in
+      let b0 = Memory.read_byte_u m addr
+      and b1 = Memory.read_byte_u m (addr + 1)
+      and b2 = Memory.read_byte_u m (addr + 2)
+      and b3 = Memory.read_byte_u m (addr + 3) in
+      w = Alu.norm v
+      && Alu.norm (b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)) = w)
+
+let alu_compare_consistency =
+  QCheck.Test.make ~name:"alu: set-compare ops agree with eval_cond" ~count:500
+    QCheck.(make Gen.(pair int int))
+    (fun (a, b) ->
+      (Alu.eval Insn.Slt a b = 1) = Alu.eval_cond Insn.Lt a b
+      && (Alu.eval Insn.Sle a b = 1) = Alu.eval_cond Insn.Le a b
+      && (Alu.eval Insn.Seq a b = 1) = Alu.eval_cond Insn.Eq a b
+      && (Alu.eval Insn.Sne a b = 1) = Alu.eval_cond Insn.Ne a b)
+
+(* --- timing-model structural bounds ------------------------------------ *)
+
+let mechanisms =
+  [ Config.No_early
+  ; Config.Table_only { entries = 64; compiler_filtered = true }
+  ; Config.Calc_only { bric_entries = 8 }
+  ; Config.Dual { table_entries = 256; selection = Config.Compiler_directed }
+  ; Config.Dual { table_entries = 256; selection = Config.Hardware_selected } ]
+
+let test_pipeline_bounds () =
+  let w = Suite.find "PGP Encode" in
+  let program = Compile.compile w.Workload.source in
+  List.iter
+    (fun mech ->
+      let cfg = Config.with_mechanism mech Config.default in
+      let stats, output = Pipeline.simulate cfg program in
+      let name = Config.mechanism_name mech in
+      (* the machine cannot beat its issue width *)
+      check_bool (name ^ ": cycles >= insns/width") true
+        (stats.Pipeline.cycles * cfg.Config.issue_width >= stats.Pipeline.instructions);
+      (* memory operations cannot beat the port count *)
+      check_bool (name ^ ": cycles >= memops/ports") true
+        (stats.Pipeline.cycles * cfg.Config.mem_ports
+        >= stats.Pipeline.loads + stats.Pipeline.stores);
+      (* successes never exceed attempts *)
+      check_bool (name ^ ": table successes bounded") true
+        (stats.Pipeline.table_successes <= stats.Pipeline.table_attempts);
+      check_bool (name ^ ": calc successes bounded") true
+        (stats.Pipeline.calc_successes <= stats.Pipeline.calc_attempts);
+      (* load class counts decompose the loads *)
+      check_bool (name ^ ": load classes partition") true
+        (stats.Pipeline.loads_n + stats.Pipeline.loads_p + stats.Pipeline.loads_e
+        = stats.Pipeline.loads);
+      (* architectural behaviour never depends on the timing config *)
+      (match w.Workload.expected_output with
+      | Some expected ->
+        Alcotest.(check string) (name ^ ": output invariant") expected output
+      | None -> ()))
+    mechanisms
+
+let test_compilation_deterministic () =
+  let w = Suite.find "RASTA" in
+  let p1 = Compile.compile w.Workload.source in
+  let p2 = Compile.compile w.Workload.source in
+  Alcotest.(check int) "same code size" (Elag_isa.Program.length p1)
+    (Elag_isa.Program.length p2);
+  let out p = Elag_sim.Emulator.output (Elag_sim.Emulator.run_program p) in
+  Alcotest.(check string) "same behaviour" (out p1) (out p2)
+
+let suite =
+  [ Alcotest.test_case "pipeline bounds" `Quick test_pipeline_bounds
+  ; Alcotest.test_case "deterministic compilation" `Quick test_compilation_deterministic ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false)
+      [ lexer_never_crashes
+      ; parser_never_crashes
+      ; sema_never_crashes
+      ; cache_invariants
+      ; memory_roundtrip
+      ; alu_compare_consistency ]

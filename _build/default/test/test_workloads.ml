@@ -1,0 +1,68 @@
+(* Workload-suite tests: every kernel compiles, terminates, and
+   reproduces its pinned output; suites have the documented sizes and
+   each workload exercises enough dynamic loads to be a meaningful
+   benchmark. *)
+
+module Compile = Elag_harness.Compile
+module Emulator = Elag_sim.Emulator
+module Workload = Elag_workloads.Workload
+module Suite = Elag_workloads.Suite
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_suite_sizes () =
+  check "12 SPEC-like workloads" 12 (List.length Suite.spec);
+  check "13 MediaBench-like workloads" 13 (List.length Suite.media);
+  check "25 total" 25 (List.length Suite.all)
+
+let test_names_unique () =
+  let names = List.map (fun (w : Workload.t) -> w.Workload.name) Suite.all in
+  check "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  let w = Suite.find "147.vortex" in
+  Alcotest.(check string) "found" "147.vortex" w.Workload.name;
+  check_bool "unknown raises" true
+    (try ignore (Suite.find "nope"); false with Invalid_argument _ -> true)
+
+let test_all_have_expected_output () =
+  List.iter
+    (fun (w : Workload.t) ->
+      check_bool (w.Workload.name ^ " has pinned output") true
+        (w.Workload.expected_output <> None))
+    Suite.all
+
+(* One test case per workload: compile, run, compare output. *)
+let workload_case (w : Workload.t) =
+  Alcotest.test_case w.Workload.name `Slow (fun () ->
+      let program = Compile.compile w.Workload.source in
+      let emu = Emulator.run_program ~max_insns:200_000_000 program in
+      (match w.Workload.expected_output with
+      | Some expected ->
+        Alcotest.(check string) "output matches pinned" expected (Emulator.output emu)
+      | None -> Alcotest.fail "no pinned output");
+      (* meaningful size: at least 100k dynamic instructions *)
+      check_bool "non-trivial dynamic size" true (Emulator.retired emu > 100_000))
+
+(* Classification must not change architectural behaviour: the
+   no-classification binary produces identical output. *)
+let test_classification_is_transparent () =
+  let w = Suite.find "072.sc" in
+  let out_of classification =
+    let options = { Compile.default_options with classification } in
+    let program = Compile.compile ~options w.Workload.source in
+    Emulator.output (Emulator.run_program program)
+  in
+  Alcotest.(check string) "same output either way"
+    (out_of Compile.Heuristics) (out_of Compile.No_classification)
+
+let suite =
+  [ Alcotest.test_case "suite sizes" `Quick test_suite_sizes
+  ; Alcotest.test_case "names unique" `Quick test_names_unique
+  ; Alcotest.test_case "find" `Quick test_find
+  ; Alcotest.test_case "outputs pinned" `Quick test_all_have_expected_output
+  ; Alcotest.test_case "classification transparent" `Quick
+      test_classification_is_transparent ]
+  @ List.map workload_case Suite.all
