@@ -14,7 +14,13 @@
                                            (one Test.make per experiment)
      dune exec bench/main.exe ablation     design-choice ablations from
                                            DESIGN.md (issue width, unroll,
-                                           miss penalty, table size) *)
+                                           miss penalty, table size)
+     dune exec bench/main.exe report       write BENCH_pipeline.json:
+                                           per-workload cycles/IPC/speedup +
+                                           stall-cause breakdown under the
+                                           dual-cc scheme, with full config
+                                           provenance, so the perf trajectory
+                                           is trackable across PRs *)
 
 module Experiments = Elag_harness.Experiments
 module Context = Elag_harness.Context
@@ -214,6 +220,61 @@ let run_ablation () =
       print_newline ())
     [ 16; 64; 256; 1024 ]
 
+(* --- machine-readable pipeline report ------------------------------------ *)
+
+module Json = Elag_telemetry.Json
+module Stall = Elag_telemetry.Stall
+
+let bench_report_file = "BENCH_pipeline.json"
+
+(* One entry per workload: baseline and dual-cc cycle counts, IPC,
+   speedup, and the dual-cc stall-cause breakdown.  The stall columns
+   say not just *that* a workload regressed but *where the cycles
+   went*, which is what makes the artifact diffable across PRs. *)
+let run_report () =
+  let workload_json (w : Workload.t) =
+    let e = Context.get w in
+    let cfg mech = Config.with_mechanism mech Config.default in
+    let base, _ = Pipeline.run (cfg Config.No_early) e.Context.program in
+    let dual, _ = Pipeline.run (cfg dual_cc) e.Context.program in
+    let bs = Pipeline.stats base and ds = Pipeline.stats dual in
+    let ipc (s : Pipeline.stats) =
+      float_of_int s.Pipeline.instructions /. float_of_int (max 1 s.Pipeline.cycles)
+    in
+    Printf.printf "  %-16s base=%8d dual-cc=%8d speedup=%.3f\n%!"
+      w.Workload.name bs.Pipeline.cycles ds.Pipeline.cycles
+      (float_of_int bs.Pipeline.cycles /. float_of_int ds.Pipeline.cycles);
+    Json.Obj
+      [ ("name", Json.String w.Workload.name)
+      ; ("suite", Json.String (Workload.suite_name w.Workload.suite))
+      ; ("instructions", Json.Int ds.Pipeline.instructions)
+      ; ("baseline_cycles", Json.Int bs.Pipeline.cycles)
+      ; ("cycles", Json.Int ds.Pipeline.cycles)
+      ; ("ipc", Json.Float (ipc ds))
+      ; ( "speedup"
+        , Json.Float
+            (float_of_int bs.Pipeline.cycles /. float_of_int (max 1 ds.Pipeline.cycles))
+        )
+      ; ( "stalls"
+        , Json.Obj
+            (("busy", Json.Int (Pipeline.busy_cycles dual))
+            :: List.map
+                 (fun (cause, n) -> (Stall.name cause, Json.Int n))
+                 (Pipeline.stall_breakdown dual)) ) ]
+  in
+  Printf.printf "pipeline report (baseline vs %s):\n" (Config.mechanism_name dual_cc);
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String "elag.bench.v1")
+      ; ("mechanism", Json.String (Config.mechanism_name dual_cc))
+      ; ("config", Config.to_json (Config.with_mechanism dual_cc Config.default))
+      ; ("workloads", Json.List (List.map workload_json Suite.all)) ]
+  in
+  let oc = open_out bench_report_file in
+  Json.output ~pretty:true oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n" bench_report_file
+
 (* --- entry point ----------------------------------------------------------- *)
 
 let () =
@@ -227,7 +288,9 @@ let () =
   | "all" -> Experiments.run_all ()
   | "micro" -> run_micro ()
   | "ablation" -> run_ablation ()
+  | "report" -> run_report ()
   | other ->
     prerr_endline ("unknown mode: " ^ other);
-    prerr_endline "modes: all table2 fig5a fig5b fig5c table3 table4 micro ablation";
+    prerr_endline
+      "modes: all table2 fig5a fig5b fig5c table3 table4 micro ablation report";
     exit 1

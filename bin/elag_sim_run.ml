@@ -1,16 +1,37 @@
 (* Run one workload (or all) under the emulator and, optionally, a
    timing configuration.  Usage:
-     elag_sim_run                      — emulate every workload, print stats
-     elag_sim_run <name>              — emulate one workload
-     elag_sim_run <name> <mechanism>  — time it (mechanisms: baseline,
-                                         table-N, calc-N, dual-hw, dual-cc) *)
+
+     elag_sim_run                       — emulate every workload, print stats
+     elag_sim_run <name>                — emulate one workload
+     elag_sim_run <name> <mechanism>    — time it (mechanisms: baseline,
+                                          table-N, calc-N, dual-hw, dual-cc)
+
+   Telemetry flags (timed runs only):
+
+     --report json|csv   emit the full machine-readable report (config
+                         provenance, stall-cause breakdown, per-load-site
+                         table) to stdout instead of the text summary
+     --trace FILE        write a Chrome trace_event file (load it in
+                         about:tracing or https://ui.perfetto.dev)
+     --max-insns N       stop after N retired instructions; reports and
+                         traces then cover that window (recommended when
+                         tracing: one event per instruction adds up) *)
 
 module Compile = Elag_harness.Compile
 module Pipeline = Elag_sim.Pipeline
+module Report = Elag_sim.Report
 module Config = Elag_sim.Config
 module Emulator = Elag_sim.Emulator
 module Workload = Elag_workloads.Workload
 module Suite = Elag_workloads.Suite
+module Json = Elag_telemetry.Json
+module Trace = Elag_telemetry.Trace
+module Insn = Elag_isa.Insn
+
+let usage () =
+  prerr_endline
+    "usage: elag_sim_run [workload [mechanism]] [--report json|csv] [--trace FILE] [--max-insns N]";
+  exit 1
 
 let mechanism_of_string s =
   let int_suffix prefix =
@@ -41,10 +62,30 @@ let emulate_one (w : Workload.t) =
     w.Workload.name (Emulator.retired emu) (t1 -. t0) (t2 -. t1)
     (String.concat "," (String.split_on_char '\n' (String.trim (Emulator.output emu))))
 
-let time_one (w : Workload.t) mech =
-  let program = Compile.compile w.Workload.source in
-  let cfg = Config.with_mechanism mech Config.default in
-  let stats, output = Pipeline.simulate cfg program in
+(* Map each instruction class to its own about:tracing thread row so
+   loads, stores, branches and ALU traffic read as separate lanes. *)
+let trace_lane insn =
+  if Insn.is_load insn then (1, "loads")
+  else if Insn.is_store insn then (2, "stores")
+  else if Insn.is_control insn then (3, "control")
+  else (0, "alu")
+
+let install_trace t =
+  let tr = Trace.create () in
+  List.iter
+    (fun (tid, name) -> Trace.set_thread_name tr ~tid name)
+    [ (0, "alu"); (1, "loads"); (2, "stores"); (3, "control") ];
+  Pipeline.set_tracer t (fun pc insn cycle latency ->
+      let tid, _ = trace_lane insn in
+      Trace.complete tr
+        ~name:(Fmt.str "%a" Insn.pp insn)
+        ~cat:(snd (trace_lane insn))
+        ~ts:cycle ~dur:latency ~tid
+        ~args:[ ("pc", Json.Int pc); ("latency", Json.Int latency) ]
+        ());
+  tr
+
+let print_text_summary (w : Workload.t) mech (stats : Pipeline.stats) t output =
   Printf.printf "%s under %s:\n" w.Workload.name (Config.mechanism_name mech);
   Printf.printf "  cycles=%d insns=%d IPC=%.2f\n" stats.Pipeline.cycles
     stats.Pipeline.instructions
@@ -60,12 +101,72 @@ let time_one (w : Workload.t) mech =
     (float_of_int stats.Pipeline.load_latency_sum /. float_of_int (max 1 stats.Pipeline.loads))
     stats.Pipeline.dcache_misses stats.Pipeline.icache_misses
     stats.Pipeline.btb_mispredicts;
+  Printf.printf "  stalls: busy=%d %s\n" (Pipeline.busy_cycles t)
+    (String.concat " "
+       (List.map
+          (fun (cause, n) ->
+            Printf.sprintf "%s=%d" (Elag_telemetry.Stall.name cause) n)
+          (Pipeline.stall_breakdown t)));
   Printf.printf "  output=%s\n"
     (String.concat "," (String.split_on_char '\n' (String.trim output)))
 
+let time_one (w : Workload.t) mech ~report ~trace_file ~max_insns =
+  let program = Compile.compile w.Workload.source in
+  let cfg = Config.with_mechanism mech Config.default in
+  let t = Pipeline.create cfg in
+  let tr = Option.map (fun _ -> install_trace t) trace_file in
+  let emu = Emulator.create program in
+  (* a user-bounded run is a measurement window, not a runaway loop *)
+  (try Emulator.run ~observer:(Pipeline.observer t) ?max_insns emu
+   with Emulator.Runaway _ when max_insns <> None -> ());
+  let output = Emulator.output emu in
+  let stats = Pipeline.stats t in
+  (match (trace_file, tr) with
+  | Some file, Some tr ->
+    let oc = open_out file in
+    Trace.write tr oc;
+    close_out oc;
+    Printf.eprintf "wrote %d trace events to %s\n%!" (Trace.events tr) file
+  | _ -> ());
+  let meta = [ ("workload", Json.String w.Workload.name) ] in
+  match report with
+  | Some `Json -> print_endline (Json.to_string ~pretty:true (Report.to_json ~meta t))
+  | Some `Csv ->
+    print_string (Report.to_csv ~meta:[ ("workload", w.Workload.name) ] t)
+  | None -> print_text_summary w mech stats t output
+
 let () =
-  match Sys.argv with
-  | [| _ |] -> List.iter emulate_one Suite.all
-  | [| _; name |] -> emulate_one (Suite.find name)
-  | [| _; name; mech |] -> time_one (Suite.find name) (mechanism_of_string mech)
-  | _ -> prerr_endline "usage: elag_sim_run [workload [mechanism]]"
+  let report = ref None
+  and trace_file = ref None
+  and max_insns = ref None
+  and positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--report" :: fmt :: rest ->
+      (report :=
+         match fmt with
+         | "json" -> Some `Json
+         | "csv" -> Some `Csv
+         | _ -> usage ());
+      parse rest
+    | "--trace" :: file :: rest ->
+      trace_file := Some file;
+      parse rest
+    | "--max-insns" :: n :: rest ->
+      (max_insns :=
+         match int_of_string_opt n with Some n when n > 0 -> Some n | _ -> usage ());
+      parse rest
+    | ("--report" | "--trace" | "--max-insns") :: [] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
+    | arg :: rest ->
+      positional := arg :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match (List.rev !positional, !report, !trace_file) with
+  | [], None, None -> List.iter emulate_one Suite.all
+  | [ name ], None, None -> emulate_one (Suite.find name)
+  | [ name; mech ], report, trace_file ->
+    time_one (Suite.find name) (mechanism_of_string mech) ~report ~trace_file
+      ~max_insns:!max_insns
+  | _ -> usage ()

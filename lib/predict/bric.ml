@@ -14,11 +14,12 @@ type t =
   { capacity : int
   ; mutable resident : (int * int) list  (* (register, valid_from_cycle), MRU first *)
   ; mutable probes : int
-  ; mutable hits : int }
+  ; mutable hits : int
+  ; mutable evictions : int }
 
 let create capacity =
   if capacity <= 0 then invalid_arg "Bric.create";
-  { capacity; resident = []; probes = 0; hits = 0 }
+  { capacity; resident = []; probes = 0; hits = 0; evictions = 0 }
 
 (* Pure hit test: resident with a usable value, no side effects. *)
 let peek t ~cycle reg =
@@ -40,8 +41,10 @@ let probe t ~cycle reg =
     usable
   | None ->
     let trimmed =
-      if List.length t.resident >= t.capacity then
+      if List.length t.resident >= t.capacity then begin
+        t.evictions <- t.evictions + 1;
         List.filteri (fun i _ -> i < t.capacity - 1) t.resident
+      end
       else t.resident
     in
     t.resident <- (reg, cycle + 1) :: trimmed;
@@ -49,3 +52,7 @@ let probe t ~cycle reg =
 
 let hit_rate t =
   if t.probes = 0 then 0. else float_of_int t.hits /. float_of_int t.probes
+
+type stats = { br_probes : int; br_hits : int; br_evictions : int }
+
+let stats t = { br_probes = t.probes; br_hits = t.hits; br_evictions = t.evictions }

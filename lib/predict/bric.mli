@@ -18,3 +18,10 @@ val probe : t -> cycle:int -> int -> bool
     usable from the next cycle) and refreshes LRU order on a hit. *)
 
 val hit_rate : t -> float
+
+type stats = { br_probes : int; br_hits : int; br_evictions : int }
+
+val stats : t -> stats
+(** Probe/hit/eviction totals, mirroring {!Elag_predict.Addr_table.stats}
+    so the pipeline can surface every predictor structure uniformly. *)
+

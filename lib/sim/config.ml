@@ -67,3 +67,42 @@ let mechanism_name = function
   | Dual { table_entries; selection } ->
     Printf.sprintf "dual-%d-%s" table_entries
       (match selection with Hardware_selected -> "hw" | Compiler_directed -> "cc")
+
+(* Provenance block embedded in every emitted report: the exact
+   machine and mechanism a result was produced under. *)
+let mechanism_to_json mech =
+  let open Elag_telemetry.Json in
+  let fields =
+    match mech with
+    | No_early -> []
+    | Table_only { entries; compiler_filtered } ->
+      [ ("table_entries", Int entries); ("compiler_filtered", Bool compiler_filtered) ]
+    | Calc_only { bric_entries } -> [ ("bric_entries", Int bric_entries) ]
+    | Dual { table_entries; selection } ->
+      [ ("table_entries", Int table_entries)
+      ; ( "selection"
+        , String
+            (match selection with
+            | Hardware_selected -> "hardware"
+            | Compiler_directed -> "compiler") ) ]
+  in
+  Obj (("name", String (mechanism_name mech)) :: fields)
+
+let to_json t =
+  let open Elag_telemetry.Json in
+  Obj
+    [ ("issue_width", Int t.issue_width)
+    ; ("int_alus", Int t.int_alus)
+    ; ("mem_ports", Int t.mem_ports)
+    ; ("branch_units", Int t.branch_units)
+    ; ("load_latency", Int t.load_latency)
+    ; ("mul_latency", Int t.mul_latency)
+    ; ("div_latency", Int t.div_latency)
+    ; ("miss_penalty", Int t.miss_penalty)
+    ; ("icache_bytes", Int t.icache_bytes)
+    ; ("dcache_bytes", Int t.dcache_bytes)
+    ; ("line_bytes", Int t.line_bytes)
+    ; ("cache_ways", Int t.cache_ways)
+    ; ("btb_entries", Int t.btb_entries)
+    ; ("mispredict_penalty", Int t.mispredict_penalty)
+    ; ("mechanism", mechanism_to_json t.mechanism) ]

@@ -21,7 +21,22 @@
      cache in ID2; since no late verification is needed, a successful
      access feeds dependents at [c] (latency 0);
    - speculative accesses consume a data-cache port at [c-1]; wrong
-     speculation wastes only that bandwidth (the paper's "extra load"). *)
+     speculation wastes only that bandwidth (the paper's "extra load").
+
+   Telemetry: besides the flat {!stats} record the model attributes
+   every non-issuing cycle to a {!Elag_telemetry.Stall.t} cause and
+   keeps a per-static-load table ({!load_site}) so reproduction gaps
+   can be localized to individual loads.  Attribution charges the
+   binding (latest) constraint: operand-readiness cycles go to the
+   cause recorded when the producing register was written (load-use /
+   dcache-miss / raw-dependence), front-end cycles to the event that
+   last pushed [fetch_ready] (icache-miss / btb-mispredict, with
+   startup pipeline fill folded into the former since the first fetch
+   is always a cold miss), and cycles spent searching past the operand
+   bound for a free data-cache port to port-contention.  The final
+   drain — cycles between the last issue and the last writeback — is
+   charged to the cause of the instruction that finishes last.  By
+   construction [busy_cycles + Σ stall_breakdown = stats.cycles]. *)
 
 module Insn = Elag_isa.Insn
 module Reg = Elag_isa.Reg
@@ -29,6 +44,8 @@ module Addr_table = Elag_predict.Addr_table
 module Bric = Elag_predict.Bric
 module Raddr = Elag_predict.Raddr
 module Btb = Elag_predict.Btb
+module Stall = Elag_telemetry.Stall
+module Histogram = Elag_telemetry.Histogram
 
 type stats =
   { mutable cycles : int
@@ -58,6 +75,19 @@ let fresh_stats () =
   ; icache_misses = 0; dcache_accesses = 0; dcache_misses = 0
   ; btb_mispredicts = 0 }
 
+type load_site =
+  { site_pc : int
+  ; site_spec : Insn.load_spec
+  ; mutable site_count : int
+  ; mutable site_table_attempts : int
+  ; mutable site_table_successes : int
+  ; mutable site_calc_attempts : int
+  ; mutable site_calc_successes : int
+  ; mutable site_wasted_spec : int
+  ; mutable site_latency_sum : int
+  ; mutable site_dcache_misses : int
+  ; site_latency : Histogram.t }
+
 let ring_size = 1024
 let ring_mask = ring_size - 1
 
@@ -70,6 +100,7 @@ type t =
   ; bric : Bric.t option
   ; raddr : Raddr.t option
   ; reg_ready : int array
+  ; reg_cause : Stall.t array  (* why waiting on this register stalls *)
   ; port_cycle : int array  (* ring: which cycle this slot describes *)
   ; port_count : int array
   ; mutable cur_cycle : int
@@ -77,9 +108,16 @@ type t =
   ; mutable alus_used : int
   ; mutable branches_used : int
   ; mutable fetch_ready : int
+  ; mutable fetch_cause : Stall.t  (* why waiting on the front end stalls *)
   ; mutable stores_in_flight : (int * int * int) list  (* issue cycle, addr, bytes *)
   ; mutable tracer : (int -> Insn.t -> int -> int -> unit) option
     (* pc, insn, issue cycle, result latency — for visualization *)
+  ; mutable last_issue : int   (* most recent cycle an instruction issued *)
+  ; mutable busy_cycles : int  (* distinct cycles with >= 1 issue *)
+  ; stall_cycles : int array   (* indexed by Stall.index *)
+  ; mutable drain_cause : Stall.t  (* cause of the latest writeback *)
+  ; load_sites : (int, load_site) Hashtbl.t
+  ; load_latency_hist : Histogram.t
   ; stats : stats }
 
 let create (cfg : Config.t) =
@@ -109,6 +147,7 @@ let create (cfg : Config.t) =
   ; bric
   ; raddr
   ; reg_ready = Array.make Reg.count 0
+  ; reg_cause = Array.make Reg.count Stall.Raw_dependence
   ; port_cycle = Array.make ring_size (-1)
   ; port_count = Array.make ring_size 0
   ; cur_cycle = 4  (* leave room for stage offsets at startup *)
@@ -116,8 +155,15 @@ let create (cfg : Config.t) =
   ; alus_used = 0
   ; branches_used = 0
   ; fetch_ready = 4
+  ; fetch_cause = Stall.Icache_miss  (* startup fill = frontend *)
   ; stores_in_flight = []
   ; tracer = None
+  ; last_issue = -1
+  ; busy_cycles = 0
+  ; stall_cycles = Array.make Stall.cardinal 0
+  ; drain_cause = Stall.Raw_dependence
+  ; load_sites = Hashtbl.create 64
+  ; load_latency_hist = Histogram.create ~bounds:Histogram.load_latency_bounds
   ; stats = fresh_stats () }
 
 (* --- data-cache port ring ------------------------------------------- *)
@@ -169,6 +215,41 @@ let structural_ok t c ~alu ~branch =
     t.slots_used < t.cfg.issue_width
     && ((not alu) || t.alus_used < t.cfg.int_alus)
     && ((not branch) || t.branches_used < t.cfg.branch_units)
+
+(* --- telemetry helpers ------------------------------------------------ *)
+
+let charge t cause n =
+  let i = Stall.index cause in
+  t.stall_cycles.(i) <- t.stall_cycles.(i) + n
+
+(* Raise [fetch_ready], remembering the responsible cause only when the
+   bound actually moves (a smaller refill never becomes the binding
+   constraint). *)
+let bump_fetch t cycle cause =
+  if cycle > t.fetch_ready then begin
+    t.fetch_ready <- cycle;
+    t.fetch_cause <- cause
+  end
+
+let site_of t pc spec =
+  match Hashtbl.find_opt t.load_sites pc with
+  | Some site -> site
+  | None ->
+    let site =
+      { site_pc = pc
+      ; site_spec = spec
+      ; site_count = 0
+      ; site_table_attempts = 0
+      ; site_table_successes = 0
+      ; site_calc_attempts = 0
+      ; site_calc_successes = 0
+      ; site_wasted_spec = 0
+      ; site_latency_sum = 0
+      ; site_dcache_misses = 0
+      ; site_latency = Histogram.create ~bounds:Histogram.load_latency_bounds }
+    in
+    Hashtbl.replace t.load_sites pc site;
+    site
 
 (* --- speculation evaluation ------------------------------------------ *)
 
@@ -284,7 +365,8 @@ let process t pc insn eff taken next_pc =
   (* instruction fetch *)
   if not (Cache.access t.icache (pc lsl 2)) then begin
     s.icache_misses <- s.icache_misses + 1;
-    t.fetch_ready <- max t.fetch_ready t.cur_cycle + t.cfg.miss_penalty
+    bump_fetch t (max t.fetch_ready t.cur_cycle + t.cfg.miss_penalty)
+      Stall.Icache_miss
   end;
   let alu =
     match insn with
@@ -294,9 +376,16 @@ let process t pc insn eff taken next_pc =
   let branch = Insn.is_branch insn in
   let is_load = Insn.is_load insn in
   let is_store = Insn.is_store insn in
-  let sources_ready =
-    List.fold_left (fun acc r -> max acc t.reg_ready.(r)) 0 (Insn.uses insn)
-  in
+  let sources_ready = ref 0 in
+  let sources_cause = ref Stall.Raw_dependence in
+  List.iter
+    (fun r ->
+      if t.reg_ready.(r) > !sources_ready then begin
+        sources_ready := t.reg_ready.(r);
+        sources_cause := t.reg_cause.(r)
+      end)
+    (Insn.uses insn);
+  let sources_ready = !sources_ready in
   let c0 = max (max t.fetch_ready sources_ready) t.cur_cycle in
   (* table probe happens once per load (counts in table stats) *)
   let load_info =
@@ -334,12 +423,33 @@ let process t pc insn eff taken next_pc =
     else (c, no_spec)
   in
   let c, ev = find c0 in
+  (* stall attribution: charge every cycle between the previous issue
+     and this one to its binding constraint.  [last_issue+1, c0) was
+     bounded by operand readiness or the front end (whichever is
+     latest); [c0, c) was spent searching for a free data-cache port. *)
+  if c > t.last_issue then begin
+    let gap_start = t.last_issue + 1 in
+    let dep_end = min c c0 in
+    if dep_end > gap_start then begin
+      let cause =
+        if sources_ready >= t.fetch_ready && sources_ready > t.last_issue then
+          !sources_cause
+        else t.fetch_cause
+      in
+      charge t cause (dep_end - gap_start)
+    end;
+    let port_start = max c0 gap_start in
+    if c > port_start then charge t Stall.Port_contention (c - port_start);
+    t.busy_cycles <- t.busy_cycles + 1;
+    t.last_issue <- c
+  end;
   advance_to t c;
   t.slots_used <- t.slots_used + 1;
   if alu then t.alus_used <- t.alus_used + 1;
   if branch then t.branches_used <- t.branches_used + 1;
   (* defaults *)
   let latency = ref 1 in
+  let def_cause = ref Stall.Raw_dependence in
   (match insn with
   | Insn.Alu { op = Insn.Mul; _ } -> latency := t.cfg.mul_latency
   | Insn.Alu { op = Insn.Div | Insn.Rem; _ } -> latency := t.cfg.div_latency
@@ -349,6 +459,8 @@ let process t pc insn eff taken next_pc =
   | Some (spec, _bytes, addr_mode) ->
     s.loads <- s.loads + 1;
     count_load_spec s spec;
+    let site = site_of t pc spec in
+    site.site_count <- site.site_count + 1;
     let path, updates_table = select_path t c spec addr_mode in
     (* commit structure probes/bindings *)
     (match (path, base_register addr_mode) with
@@ -387,13 +499,25 @@ let process t pc insn eff taken next_pc =
       (match ev.path with
       | `Table ->
         s.table_attempts <- s.table_attempts + 1;
-        if ev.success then s.table_successes <- s.table_successes + 1
+        site.site_table_attempts <- site.site_table_attempts + 1;
+        if ev.success then begin
+          s.table_successes <- s.table_successes + 1;
+          site.site_table_successes <- site.site_table_successes + 1
+        end
       | `Calc ->
         s.calc_attempts <- s.calc_attempts + 1;
-        if ev.success then s.calc_successes <- s.calc_successes + 1
+        site.site_calc_attempts <- site.site_calc_attempts + 1;
+        if ev.success then begin
+          s.calc_successes <- s.calc_successes + 1;
+          site.site_calc_successes <- site.site_calc_successes + 1
+        end
       | `None -> ());
-      if not ev.success then s.wasted_spec <- s.wasted_spec + 1
+      if not ev.success then begin
+        s.wasted_spec <- s.wasted_spec + 1;
+        site.site_wasted_spec <- site.site_wasted_spec + 1
+      end
     end;
+    let load_missed = ref false in
     let lat =
       if ev.success then ev.success_latency
       else begin
@@ -401,7 +525,10 @@ let process t pc insn eff taken next_pc =
         book_port t (c + 1);
         s.dcache_accesses <- s.dcache_accesses + 1;
         let hit = Cache.access t.dcache eff in
-        if not hit then s.dcache_misses <- s.dcache_misses + 1;
+        if not hit then begin
+          s.dcache_misses <- s.dcache_misses + 1;
+          load_missed := true
+        end;
         if hit && !spec_missed_same_line then
           (* merge with the fill the speculative access initiated *)
           t.cfg.load_latency
@@ -410,7 +537,12 @@ let process t pc insn eff taken next_pc =
       end
     in
     s.load_latency_sum <- s.load_latency_sum + lat;
+    site.site_latency_sum <- site.site_latency_sum + lat;
+    if !load_missed then site.site_dcache_misses <- site.site_dcache_misses + 1;
+    Histogram.observe site.site_latency lat;
+    Histogram.observe t.load_latency_hist lat;
     latency := lat;
+    def_cause := if !load_missed then Stall.Dcache_miss else Stall.Load_use;
     (* the table entry is updated at MEM with the computed address *)
     (match (t.table, updates_table) with
     | Some table, true -> ignore (Addr_table.update table pc eff)
@@ -437,7 +569,7 @@ let process t pc insn eff taken next_pc =
     end
     else begin
       s.btb_mispredicts <- s.btb_mispredicts + 1;
-      t.fetch_ready <- max t.fetch_ready (c + 1 + t.cfg.mispredict_penalty)
+      bump_fetch t (c + 1 + t.cfg.mispredict_penalty) Stall.Btb_mispredict
     end
   | Insn.Jump _ | Insn.Jal _ ->
     (* direct unconditional transfers redirect fetch without penalty
@@ -445,9 +577,18 @@ let process t pc insn eff taken next_pc =
     t.fetch_ready <- max t.fetch_ready (c + 1)
   | _ -> ());
   (* destinations *)
-  List.iter (fun d -> t.reg_ready.(d) <- c + !latency) (Insn.defs insn);
+  List.iter
+    (fun d ->
+      t.reg_ready.(d) <- c + !latency;
+      t.reg_cause.(d) <- !def_cause)
+    (Insn.defs insn);
   (match t.tracer with Some f -> f pc insn c !latency | None -> ());
-  s.cycles <- max s.cycles (c + !latency)
+  (* an issued instruction occupies its issue cycle even at latency 0 *)
+  let finish = max (c + !latency) (c + 1) in
+  if finish > s.cycles then begin
+    s.cycles <- finish;
+    t.drain_cause <- !def_cause
+  end
 
 let set_tracer t f = t.tracer <- Some f
 
@@ -456,11 +597,45 @@ let observer t : Emulator.observer = fun pc insn eff taken next_pc ->
 
 let stats t = t.stats
 
+let config t = t.cfg
+
 let table_stats t = Option.map Addr_table.stats t.table
 
-(* Run a program under this configuration and return final statistics. *)
-let simulate ?max_insns (cfg : Config.t) program =
+let bric_stats t = Option.map Bric.stats t.bric
+
+(* --- telemetry accessors ---------------------------------------------- *)
+
+let busy_cycles t = t.busy_cycles
+
+let stall_breakdown t =
+  let arr = Array.copy t.stall_cycles in
+  (* charge the final drain (cycles after the last issue, waiting for
+     the latest writeback) to whatever finishes last *)
+  let drain = t.stats.cycles - (t.last_issue + 1) in
+  if drain > 0 then begin
+    let i = Stall.index t.drain_cause in
+    arr.(i) <- arr.(i) + drain
+  end;
+  List.map (fun cause -> (cause, arr.(Stall.index cause))) Stall.all
+
+let stall_total t =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (stall_breakdown t)
+
+let load_sites t =
+  Hashtbl.fold (fun _ site acc -> site :: acc) t.load_sites []
+  |> List.sort (fun a b -> compare a.site_pc b.site_pc)
+
+let load_latency_histogram t = t.load_latency_hist
+
+(* Run a program under this configuration; returns the pipeline (for
+   telemetry extraction) and the program's printed output. *)
+let run ?max_insns (cfg : Config.t) program =
   let t = create cfg in
   let emu = Emulator.create program in
   Emulator.run ~observer:(observer t) ?max_insns emu;
-  (t.stats, Emulator.output emu)
+  (t, Emulator.output emu)
+
+(* Run a program under this configuration and return final statistics. *)
+let simulate ?max_insns (cfg : Config.t) program =
+  let t, output = run ?max_insns cfg program in
+  (t.stats, output)

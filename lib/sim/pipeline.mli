@@ -37,6 +37,22 @@ type stats =
   ; mutable dcache_misses : int
   ; mutable btb_mispredicts : int }
 
+type load_site =
+  { site_pc : int  (** static PC of the load *)
+  ; site_spec : Elag_isa.Insn.load_spec  (** static specifier *)
+  ; mutable site_count : int  (** dynamic executions *)
+  ; mutable site_table_attempts : int
+  ; mutable site_table_successes : int
+  ; mutable site_calc_attempts : int
+  ; mutable site_calc_successes : int
+  ; mutable site_wasted_spec : int
+  ; mutable site_latency_sum : int
+  ; mutable site_dcache_misses : int
+  ; site_latency : Elag_telemetry.Histogram.t }
+(** Per-static-load telemetry: one record per load PC, so a
+    reproduction gap ("this workload speeds up less than the paper")
+    can be localized to the individual loads that misbehave. *)
+
 type t
 
 val create : Config.t -> t
@@ -53,9 +69,36 @@ val observer : t -> Emulator.observer
 
 val stats : t -> stats
 
+val config : t -> Config.t
+
 val table_stats : t -> Elag_predict.Addr_table.stats option
+
+val bric_stats : t -> Elag_predict.Bric.stats option
+
+val busy_cycles : t -> int
+(** Distinct cycles in which at least one instruction issued. *)
+
+val stall_breakdown : t -> (Elag_telemetry.Stall.t * int) list
+(** Non-issuing cycles charged to their binding cause, in canonical
+    order and including the final drain.  The attribution invariant
+    [busy_cycles t + stall_total t = (stats t).cycles] holds by
+    construction; see the implementation header for the charging
+    rules. *)
+
+val stall_total : t -> int
+
+val load_sites : t -> load_site list
+(** Every load PC observed this run, ascending; the sites'
+    [site_count]s sum to [(stats t).loads]. *)
+
+val load_latency_histogram : t -> Elag_telemetry.Histogram.t
+(** Aggregate effective-latency distribution over all loads. *)
+
+val run : ?max_insns:int -> Config.t -> Elag_isa.Program.t -> t * string
+(** Emulate the program under this configuration; returns the pipeline
+    itself (for stats and telemetry extraction) and the program's
+    printed output. *)
 
 val simulate :
   ?max_insns:int -> Config.t -> Elag_isa.Program.t -> stats * string
-(** Emulate the program under this configuration; returns final
-    statistics and the program's printed output. *)
+(** {!run}, keeping only the flat statistics record. *)

@@ -1,0 +1,130 @@
+(* Machine-readable reports over one pipeline run: JSON document, flat
+   metric registry, and CSV.  All emitters read the same accessors, so
+   the shapes cannot drift apart. *)
+
+module Json = Elag_telemetry.Json
+module Metrics = Elag_telemetry.Metrics
+module Stall = Elag_telemetry.Stall
+module Histogram = Elag_telemetry.Histogram
+module Insn = Elag_isa.Insn
+
+let spec_name = function
+  | Insn.Ld_n -> "ld_n"
+  | Insn.Ld_p -> "ld_p"
+  | Insn.Ld_e -> "ld_e"
+
+let ipc (s : Pipeline.stats) =
+  if s.Pipeline.cycles = 0 then 0.
+  else float_of_int s.Pipeline.instructions /. float_of_int s.Pipeline.cycles
+
+let totals_fields (s : Pipeline.stats) =
+  [ ("cycles", Json.Int s.Pipeline.cycles)
+  ; ("instructions", Json.Int s.Pipeline.instructions)
+  ; ("ipc", Json.Float (ipc s))
+  ; ("loads", Json.Int s.Pipeline.loads)
+  ; ("stores", Json.Int s.Pipeline.stores)
+  ; ("loads_n", Json.Int s.Pipeline.loads_n)
+  ; ("loads_p", Json.Int s.Pipeline.loads_p)
+  ; ("loads_e", Json.Int s.Pipeline.loads_e)
+  ; ("table_attempts", Json.Int s.Pipeline.table_attempts)
+  ; ("table_successes", Json.Int s.Pipeline.table_successes)
+  ; ("calc_attempts", Json.Int s.Pipeline.calc_attempts)
+  ; ("calc_successes", Json.Int s.Pipeline.calc_successes)
+  ; ("wasted_spec", Json.Int s.Pipeline.wasted_spec)
+  ; ("load_latency_sum", Json.Int s.Pipeline.load_latency_sum)
+  ; ("icache_misses", Json.Int s.Pipeline.icache_misses)
+  ; ("dcache_accesses", Json.Int s.Pipeline.dcache_accesses)
+  ; ("dcache_misses", Json.Int s.Pipeline.dcache_misses)
+  ; ("btb_mispredicts", Json.Int s.Pipeline.btb_mispredicts) ]
+
+let stalls_json t =
+  let breakdown = Pipeline.stall_breakdown t in
+  Json.Obj
+    (( "busy", Json.Int (Pipeline.busy_cycles t) )
+     :: List.map (fun (cause, n) -> (Stall.name cause, Json.Int n)) breakdown
+    @ [ ("total_stall", Json.Int (Pipeline.stall_total t)) ])
+
+let site_json (site : Pipeline.load_site) =
+  Json.Obj
+    [ ("pc", Json.Int site.Pipeline.site_pc)
+    ; ("spec", Json.String (spec_name site.Pipeline.site_spec))
+    ; ("count", Json.Int site.Pipeline.site_count)
+    ; ("table_attempts", Json.Int site.Pipeline.site_table_attempts)
+    ; ("table_successes", Json.Int site.Pipeline.site_table_successes)
+    ; ("calc_attempts", Json.Int site.Pipeline.site_calc_attempts)
+    ; ("calc_successes", Json.Int site.Pipeline.site_calc_successes)
+    ; ("wasted_spec", Json.Int site.Pipeline.site_wasted_spec)
+    ; ("dcache_misses", Json.Int site.Pipeline.site_dcache_misses)
+    ; ( "avg_latency"
+      , Json.Float
+          (float_of_int site.Pipeline.site_latency_sum
+          /. float_of_int (max 1 site.Pipeline.site_count)) )
+    ; ("latency", Histogram.to_json site.Pipeline.site_latency) ]
+
+let predictors_json t =
+  let table =
+    match Pipeline.table_stats t with
+    | None -> Json.Null
+    | Some st ->
+      Json.Obj
+        [ ("probes", Json.Int st.Elag_predict.Addr_table.st_probes)
+        ; ("hits", Json.Int st.Elag_predict.Addr_table.st_hits)
+        ; ("correct", Json.Int st.Elag_predict.Addr_table.st_correct) ]
+  in
+  let bric =
+    match Pipeline.bric_stats t with
+    | None -> Json.Null
+    | Some st ->
+      Json.Obj
+        [ ("probes", Json.Int st.Elag_predict.Bric.br_probes)
+        ; ("hits", Json.Int st.Elag_predict.Bric.br_hits)
+        ; ("evictions", Json.Int st.Elag_predict.Bric.br_evictions) ]
+  in
+  Json.Obj [ ("addr_table", table); ("bric", bric) ]
+
+let to_json ?(meta = []) t =
+  let s = Pipeline.stats t in
+  Json.Obj
+    ((if meta = [] then [] else [ ("meta", Json.Obj meta) ])
+    @ [ ("schema", Json.String "elag.report.v1")
+      ; ("config", Config.to_json (Pipeline.config t))
+      ; ("totals", Json.Obj (totals_fields s))
+      ; ("stalls", stalls_json t)
+      ; ("load_latency", Histogram.to_json (Pipeline.load_latency_histogram t))
+      ; ("predictors", predictors_json t)
+      ; ("load_sites", Json.List (List.map site_json (Pipeline.load_sites t))) ])
+
+let to_metrics t =
+  let s = Pipeline.stats t in
+  let reg = Metrics.create () in
+  let put name v = Metrics.set (Metrics.counter reg name) v in
+  List.iter
+    (fun (name, v) -> match v with Json.Int n -> put name n | _ -> ())
+    (totals_fields s);
+  put "busy_cycles" (Pipeline.busy_cycles t);
+  List.iter
+    (fun (cause, n) -> put ("stall_" ^ Stall.name cause) n)
+    (Pipeline.stall_breakdown t);
+  put "stall_total" (Pipeline.stall_total t);
+  Metrics.attach_histogram reg "load_latency" (Pipeline.load_latency_histogram t);
+  reg
+
+let to_csv ?(meta = []) t =
+  let buf = Buffer.create 1024 in
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "# %s,%s\n" k v)) meta;
+  Buffer.add_string buf (Metrics.to_csv (to_metrics t));
+  Buffer.add_string buf "\n";
+  Buffer.add_string buf
+    "pc,spec,count,table_attempts,table_successes,calc_attempts,calc_successes,wasted_spec,dcache_misses,latency_sum\n";
+  List.iter
+    (fun (site : Pipeline.load_site) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%d,%d,%d,%d,%d,%d,%d,%d\n"
+           site.Pipeline.site_pc
+           (spec_name site.Pipeline.site_spec)
+           site.Pipeline.site_count site.Pipeline.site_table_attempts
+           site.Pipeline.site_table_successes site.Pipeline.site_calc_attempts
+           site.Pipeline.site_calc_successes site.Pipeline.site_wasted_spec
+           site.Pipeline.site_dcache_misses site.Pipeline.site_latency_sum))
+    (Pipeline.load_sites t);
+  Buffer.contents buf

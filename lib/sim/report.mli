@@ -1,0 +1,28 @@
+(** Machine-readable run reports.
+
+    Assembles the full telemetry of one timing simulation — exact
+    configuration (provenance), aggregate statistics, stall-cause
+    breakdown, predictor-structure counters, aggregate load-latency
+    histogram, and the per-load-site table — into one JSON document or
+    a flat CSV.
+
+    Shape guarantees (checked by the golden-file test and the report
+    smoke script):
+    - [stalls.busy + Σ stalls.<cause> = totals.cycles];
+    - the [load_sites] entries' ["count"] fields sum to
+      [totals.loads]. *)
+
+val to_json :
+  ?meta:(string * Elag_telemetry.Json.t) list -> Pipeline.t ->
+  Elag_telemetry.Json.t
+(** [meta] fields (workload name, run timestamps, …) are embedded
+    verbatim under a ["meta"] key when non-empty. *)
+
+val to_metrics : Pipeline.t -> Elag_telemetry.Metrics.t
+(** The same scalars as a metric registry (counters + the aggregate
+    latency histogram), for callers that want CSV or incremental
+    export rather than the nested document. *)
+
+val to_csv : ?meta:(string * string) list -> Pipeline.t -> string
+(** Flat export: a [metric,value] section from {!to_metrics} followed
+    by one CSV row per load site. *)

@@ -1,0 +1,85 @@
+(* Minimal JSON tree and serializer for telemetry reports.  Objects
+   preserve insertion order so emitted reports are deterministic and
+   diffable (the golden-file test depends on this). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity; clamp to null like most emitters do. *)
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then None
+  else if Float.is_integer f then Some (Printf.sprintf "%.1f" f)
+  else Some (Printf.sprintf "%.12g" f)
+
+let rec write ~pretty ~indent buf v =
+  let nl pad =
+    if pretty then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make pad ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    Buffer.add_string buf (match float_repr f with Some s -> s | None -> "null")
+  | String s -> Buffer.add_string buf (escape s)
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        nl (indent + 2);
+        write ~pretty ~indent:(indent + 2) buf item)
+      items;
+    nl indent;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        nl (indent + 2);
+        Buffer.add_string buf (escape k);
+        Buffer.add_char buf ':';
+        if pretty then Buffer.add_char buf ' ';
+        write ~pretty ~indent:(indent + 2) buf item)
+      fields;
+    nl indent;
+    Buffer.add_char buf '}'
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 1024 in
+  write ~pretty ~indent:0 buf v;
+  Buffer.contents buf
+
+let output ?pretty oc v =
+  output_string oc (to_string ?pretty v);
+  output_char oc '\n'

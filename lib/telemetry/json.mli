@@ -1,0 +1,23 @@
+(** Minimal JSON tree and serializer for telemetry reports.
+
+    Only what the emitters need: construction and deterministic
+    printing (objects keep insertion order, floats print with enough
+    precision to round-trip, strings are escaped per RFC 8259).  No
+    parser — reports are written, not read, by this repository. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] (default false) indents with two spaces. *)
+
+val output : ?pretty:bool -> out_channel -> t -> unit
+
+val escape : string -> string
+(** The quoted, escaped form of a string literal. *)

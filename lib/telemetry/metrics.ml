@@ -1,0 +1,86 @@
+(* Metric registry: named counters and fixed-bucket histograms,
+   emitted together as JSON or CSV.  Registration order is preserved
+   so emitted reports are deterministic. *)
+
+type counter = { mutable c_value : int }
+
+type metric =
+  | Counter of counter * string option  (* help *)
+  | Hist of Histogram.t * string option
+
+type t =
+  { mutable order : string list  (* reverse registration order *)
+  ; metrics : (string, metric) Hashtbl.t }
+
+let create () = { order = []; metrics = Hashtbl.create 32 }
+
+let register t name metric =
+  Hashtbl.replace t.metrics name metric;
+  t.order <- name :: t.order
+
+let counter t ?help name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter (c, _)) -> c
+  | Some (Hist _) ->
+    invalid_arg (Printf.sprintf "Metrics.counter: %s is a histogram" name)
+  | None ->
+    let c = { c_value = 0 } in
+    register t name (Counter (c, help));
+    c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let set c v = c.c_value <- v
+let value c = c.c_value
+
+let histogram t ?help ~bounds name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Hist (h, _)) -> h
+  | Some (Counter _) ->
+    invalid_arg (Printf.sprintf "Metrics.histogram: %s is a counter" name)
+  | None ->
+    let h = Histogram.create ~bounds in
+    register t name (Hist (h, help));
+    h
+
+let attach_histogram t ?help name h =
+  if not (Hashtbl.mem t.metrics name) then t.order <- name :: t.order;
+  Hashtbl.replace t.metrics name (Hist (h, help))
+
+let find_counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter (c, _)) -> Some c
+  | _ -> None
+
+let in_order t =
+  List.rev_map (fun name -> (name, Hashtbl.find t.metrics name)) t.order
+
+let to_json t =
+  let counters, hists =
+    List.fold_left
+      (fun (cs, hs) (name, metric) ->
+        match metric with
+        | Counter (c, _) -> ((name, Json.Int c.c_value) :: cs, hs)
+        | Hist (h, _) -> (cs, (name, Histogram.to_json h) :: hs))
+      ([], []) (List.rev (in_order t))
+  in
+  Json.Obj [ ("counters", Json.Obj counters); ("histograms", Json.Obj hists) ]
+
+let to_csv t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "metric,value\n";
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Counter (c, _) -> Buffer.add_string buf (Printf.sprintf "%s,%d\n" name c.c_value)
+      | Hist (h, _) ->
+        List.iter
+          (fun (bound, count) ->
+            if count > 0 then
+              let le =
+                match bound with Some b -> string_of_int b | None -> "inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket_le_%s,%d\n" name le count))
+          (Histogram.bucket_counts h))
+    (in_order t);
+  Buffer.contents buf

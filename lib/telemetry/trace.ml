@@ -1,0 +1,62 @@
+(* Chrome trace_event exporter.  Events are buffered in reverse and
+   emitted in record order inside the standard envelope. *)
+
+type event =
+  { name : string
+  ; cat : string
+  ; ts : int
+  ; dur : int
+  ; tid : int
+  ; args : (string * Json.t) list }
+
+type t =
+  { process_name : string
+  ; mutable thread_names : (int * string) list
+  ; mutable rev_events : event list
+  ; mutable count : int }
+
+let create ?(process_name = "elag-sim") () =
+  { process_name; thread_names = []; rev_events = []; count = 0 }
+
+let set_thread_name t ~tid name =
+  t.thread_names <- (tid, name) :: List.remove_assoc tid t.thread_names
+
+let complete t ~name ?(cat = "sim") ~ts ~dur ?(tid = 0) ?(args = []) () =
+  t.rev_events <- { name; cat; ts; dur = max 1 dur; tid; args } :: t.rev_events;
+  t.count <- t.count + 1
+
+let events t = t.count
+
+let metadata_json ~name ~tid fields =
+  Json.Obj
+    ([ ("name", Json.String name)
+     ; ("ph", Json.String "M")
+     ; ("pid", Json.Int 0)
+     ; ("tid", Json.Int tid)
+     ; ("args", Json.Obj fields) ])
+
+let event_json e =
+  Json.Obj
+    ([ ("name", Json.String e.name)
+     ; ("cat", Json.String e.cat)
+     ; ("ph", Json.String "X")
+     ; ("ts", Json.Int e.ts)
+     ; ("dur", Json.Int e.dur)
+     ; ("pid", Json.Int 0)
+     ; ("tid", Json.Int e.tid) ]
+    @ if e.args = [] then [] else [ ("args", Json.Obj e.args) ])
+
+let to_json t =
+  let metadata =
+    metadata_json ~name:"process_name" ~tid:0
+      [ ("name", Json.String t.process_name) ]
+    :: List.rev_map
+         (fun (tid, name) ->
+           metadata_json ~name:"thread_name" ~tid [ ("name", Json.String name) ])
+         t.thread_names
+  in
+  Json.Obj
+    [ ("traceEvents", Json.List (metadata @ List.rev_map event_json t.rev_events))
+    ; ("displayTimeUnit", Json.String "ms") ]
+
+let write t oc = Json.output oc (to_json t)

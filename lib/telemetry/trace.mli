@@ -1,0 +1,35 @@
+(** Chrome [trace_event] exporter (the about:tracing / Perfetto JSON
+    format).
+
+    Collects complete ("ph":"X") events plus thread-name metadata and
+    writes the standard [{"traceEvents": [...]}] envelope.  Timestamps
+    are in the trace's native microsecond unit; the simulator maps one
+    pipeline cycle to one microsecond so cycle numbers read directly
+    off the about:tracing ruler. *)
+
+type t
+
+val create : ?process_name:string -> unit -> t
+
+val set_thread_name : t -> tid:int -> string -> unit
+(** Emit a thread-name metadata record (once per tid; repeated calls
+    overwrite). *)
+
+val complete :
+  t ->
+  name:string ->
+  ?cat:string ->
+  ts:int ->
+  dur:int ->
+  ?tid:int ->
+  ?args:(string * Json.t) list ->
+  unit ->
+  unit
+(** Record a complete event covering [ts, ts + dur).  [dur] is clamped
+    to at least 1 so zero-latency events stay visible. *)
+
+val events : t -> int
+
+val to_json : t -> Json.t
+
+val write : t -> out_channel -> unit

@@ -1,0 +1,20 @@
+#!/bin/sh
+# One-command smoke check: build, run the full test suite, regenerate a
+# paper table, and emit one machine-readable report (validating that the
+# telemetry path works end to end).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench: table2 =="
+dune exec bench/main.exe table2
+
+echo "== report: PGP Encode / baseline =="
+dune exec bin/elag_sim_run.exe -- "PGP Encode" baseline --report json
+
+echo "smoke: OK"

@@ -11,4 +11,5 @@ let () =
     ; ("sim", Test_sim.suite)
     ; ("workloads", Test_workloads.suite)
     ; ("harness", Test_harness.suite)
+    ; ("telemetry", Test_telemetry.suite)
     ; ("properties", Test_properties.suite) ]

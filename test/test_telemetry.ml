@@ -1,0 +1,274 @@
+(* Telemetry tests: JSON serialization, histogram bucketing and
+   percentiles, the metric registry, the Chrome trace exporter, the
+   pipeline's stall-attribution invariant (busy + Σ stalls = cycles)
+   across workloads × mechanisms, per-load-site accounting, and a
+   golden-file check of the JSON report shape. *)
+
+module Json = Elag_telemetry.Json
+module Histogram = Elag_telemetry.Histogram
+module Metrics = Elag_telemetry.Metrics
+module Stall = Elag_telemetry.Stall
+module Trace = Elag_telemetry.Trace
+module Pipeline = Elag_sim.Pipeline
+module Report = Elag_sim.Report
+module Config = Elag_sim.Config
+module Bric = Elag_predict.Bric
+module Insn = Elag_isa.Insn
+module Layout = Elag_isa.Layout
+module Program = Elag_isa.Program
+module Suite = Elag_workloads.Suite
+module Context = Elag_harness.Context
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec scan i =
+    if i + n > String.length s then false
+    else String.sub s i n = sub || scan (i + 1)
+  in
+  scan 0
+
+(* --- JSON ----------------------------------------------------------------- *)
+
+let test_json_printing () =
+  check_str "scalars" "[null,true,-3,1.5,\"a\\\"b\\n\"]"
+    (Json.to_string
+       (Json.List
+          [ Json.Null; Json.Bool true; Json.Int (-3); Json.Float 1.5
+          ; Json.String "a\"b\n" ]));
+  check_str "object order preserved" "{\"b\":1,\"a\":2}"
+    (Json.to_string (Json.Obj [ ("b", Json.Int 1); ("a", Json.Int 2) ]));
+  check_str "integral float" "2.0" (Json.to_string (Json.Float 2.));
+  check_str "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check_str "control chars escaped" "\"\\u0001\""
+    (Json.to_string (Json.String "\x01"))
+
+(* --- histogram ------------------------------------------------------------- *)
+
+let test_histogram_bucketing () =
+  let h = Histogram.create ~bounds:[| 0; 1; 2; 4; 8 |] in
+  List.iter (Histogram.observe h) [ 0; 1; 1; 2; 3; 4; 7; 9; 100 ];
+  check "count" 9 (Histogram.count h);
+  check "sum" 127 (Histogram.sum h);
+  Alcotest.(check (list (pair (option int) int)))
+    "bucket layout"
+    [ (Some 0, 1); (Some 1, 2); (Some 2, 1); (Some 4, 2); (Some 8, 1); (None, 2) ]
+    (Histogram.bucket_counts h);
+  check_bool "rejects unsorted bounds" true
+    (try
+       ignore (Histogram.create ~bounds:[| 2; 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_percentiles () =
+  let h = Histogram.create ~bounds:[| 1; 2; 4; 8 |] in
+  (* 90 observations of 1, 9 of 3, 1 of 20 *)
+  for _ = 1 to 90 do Histogram.observe h 1 done;
+  for _ = 1 to 9 do Histogram.observe h 3 done;
+  Histogram.observe h 20;
+  check "p50" 1 (Option.get (Histogram.percentile h 50.));
+  check "p90" 1 (Option.get (Histogram.percentile h 90.));
+  check "p95 lands in (2,4]" 4 (Option.get (Histogram.percentile h 95.));
+  check "p100 is the max" 20 (Option.get (Histogram.percentile h 100.));
+  check "max seen" 20 (Option.get (Histogram.max_seen h));
+  check_bool "empty has no percentile" true
+    (Histogram.percentile (Histogram.create ~bounds:[| 1 |]) 50. = None)
+
+(* --- metric registry ------------------------------------------------------- *)
+
+let test_metrics_registry () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "cycles" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  check "counter value" 42 (Metrics.value c);
+  check_bool "same name, same counter" true (Metrics.counter reg "cycles" == c);
+  let h = Metrics.histogram reg ~bounds:[| 1; 2 |] "lat" in
+  Histogram.observe h 1;
+  Histogram.observe h 5;
+  let csv = Metrics.to_csv reg in
+  check_bool "csv has counter row" true
+    (List.mem "cycles,42" (String.split_on_char '\n' csv));
+  check_bool "csv has overflow bucket row" true
+    (List.mem "lat_bucket_le_inf,1" (String.split_on_char '\n' csv));
+  check_bool "name collision rejected" true
+    (try
+       ignore (Metrics.histogram reg ~bounds:[| 1 |] "cycles");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- trace exporter -------------------------------------------------------- *)
+
+let test_trace_events () =
+  let tr = Trace.create ~process_name:"t" () in
+  Trace.set_thread_name tr ~tid:1 "loads";
+  Trace.complete tr ~name:"ld" ~ts:10 ~dur:0 ~tid:1
+    ~args:[ ("pc", Json.Int 4) ] ();
+  Trace.complete tr ~name:"add" ~ts:11 ~dur:1 ();
+  check "two events" 2 (Trace.events tr);
+  let s = Json.to_string (Trace.to_json tr) in
+  check_bool "envelope" true
+    (String.length s > 0 && String.sub s 0 15 = "{\"traceEvents\":");
+  (* zero-duration events are widened to stay visible in the viewer *)
+  check_bool "dur clamped to 1" true (contains s "\"dur\":1");
+  check_bool "thread name metadata present" true
+    (contains s "\"thread_name\"" && contains s "\"loads\"")
+
+(* --- stall taxonomy -------------------------------------------------------- *)
+
+let test_stall_names_roundtrip () =
+  List.iter
+    (fun cause ->
+      check_bool (Stall.name cause) true (Stall.of_name (Stall.name cause) = Some cause))
+    Stall.all;
+  check "cardinal" (List.length Stall.all) Stall.cardinal
+
+(* --- stall-attribution invariant ------------------------------------------- *)
+
+let invariant_panel = [ "072.sc"; "PGP Encode"; "PGP Decode" ]
+
+let invariant_mechanisms =
+  [ Config.No_early
+  ; Config.Table_only { entries = 256; compiler_filtered = false }
+  ; Config.Dual { table_entries = 256; selection = Config.Compiler_directed } ]
+
+let test_stall_invariant () =
+  List.iter
+    (fun name ->
+      let e = Context.get (Suite.find name) in
+      List.iter
+        (fun mech ->
+          let cfg = Config.with_mechanism mech Config.default in
+          let t, _ = Pipeline.run cfg e.Elag_harness.Context.program in
+          let s = Pipeline.stats t in
+          let label = name ^ "/" ^ Config.mechanism_name mech in
+          check (label ^ ": busy + stalls = cycles") s.Pipeline.cycles
+            (Pipeline.busy_cycles t + Pipeline.stall_total t);
+          List.iter
+            (fun (cause, n) ->
+              check_bool (label ^ ": " ^ Stall.name cause ^ " non-negative") true
+                (n >= 0))
+            (Pipeline.stall_breakdown t))
+        invariant_mechanisms)
+    invariant_panel
+
+let test_load_sites_account () =
+  let e = Context.get (Suite.find "PGP Encode") in
+  let cfg =
+    Config.with_mechanism
+      (Config.Dual { table_entries = 256; selection = Config.Compiler_directed })
+      Config.default
+  in
+  let t, _ = Pipeline.run cfg e.Elag_harness.Context.program in
+  let s = Pipeline.stats t in
+  let sites = Pipeline.load_sites t in
+  check_bool "has sites" true (sites <> []);
+  check "site counts sum to loads" s.Pipeline.loads
+    (List.fold_left (fun acc site -> acc + site.Pipeline.site_count) 0 sites);
+  check "site latency sums to total" s.Pipeline.load_latency_sum
+    (List.fold_left (fun acc site -> acc + site.Pipeline.site_latency_sum) 0 sites);
+  check "aggregate histogram covers every load" s.Pipeline.loads
+    (Histogram.count (Pipeline.load_latency_histogram t));
+  check "site attempts sum to table attempts" s.Pipeline.table_attempts
+    (List.fold_left (fun acc site -> acc + site.Pipeline.site_table_attempts) 0 sites);
+  (* PCs are unique and ascending *)
+  let pcs = List.map (fun site -> site.Pipeline.site_pc) sites in
+  check_bool "pcs sorted" true (List.sort compare pcs = pcs);
+  check "pcs unique" (List.length pcs)
+    (List.length (List.sort_uniq compare pcs))
+
+(* --- BRIC stats ------------------------------------------------------------ *)
+
+let test_bric_stats () =
+  let b = Bric.create 2 in
+  ignore (Bric.probe b ~cycle:0 1);  (* miss, allocate *)
+  ignore (Bric.probe b ~cycle:2 1);  (* hit *)
+  ignore (Bric.probe b ~cycle:2 2);  (* miss, allocate *)
+  ignore (Bric.probe b ~cycle:4 3);  (* miss, evicts LRU (reg 1) *)
+  let st = Bric.stats b in
+  check "probes" 4 st.Bric.br_probes;
+  check "hits" 1 st.Bric.br_hits;
+  check "evictions" 1 st.Bric.br_evictions
+
+let test_bric_stats_surfaced () =
+  let e = Context.get (Suite.find "PGP Encode") in
+  let cfg =
+    Config.with_mechanism (Config.Calc_only { bric_entries = 8 }) Config.default
+  in
+  let t, _ = Pipeline.run cfg e.Elag_harness.Context.program in
+  match Pipeline.bric_stats t with
+  | None -> Alcotest.fail "calc-only pipeline must expose BRIC stats"
+  | Some st -> check_bool "probes counted" true (st.Bric.br_probes > 0)
+
+(* --- golden report shape --------------------------------------------------- *)
+
+(* A tiny deterministic kernel: strided ld_p loads plus a store, so the
+   report exercises sites, speculation and stall attribution.  The
+   golden file pins the exact report; to regenerate after an intended
+   report-shape or timing change:
+
+     ELAG_UPDATE_GOLDEN=$PWD/test/golden_report.json dune runtest *)
+
+let golden_program () =
+  let layout = Layout.create () in
+  ignore (Layout.add layout ~label:"arr" ~align:4 ~init:(Layout.Zeros 4096));
+  Program.assemble ~layout
+    [ Program.Label "_start"
+    ; Program.Insn (Insn.Li { dst = 10; imm = Layout.default_base })
+    ; Program.Insn (Insn.Li { dst = 12; imm = 0 })
+    ; Program.Insn (Insn.Li { dst = 13; imm = 0 })
+    ; Program.Label "loop"
+    ; Program.Insn
+        (Insn.Load
+           { spec = Insn.Ld_p; size = Insn.Word; sign = Insn.Signed; dst = 14
+           ; addr = Insn.Base_offset (10, 0) })
+    ; Program.Insn (Insn.Alu { op = Insn.Add; dst = 13; src1 = 13; src2 = Insn.R 14 })
+    ; Program.Insn (Insn.Store { size = Insn.Word; src = 13; addr = Insn.Base_offset (10, 0) })
+    ; Program.Insn (Insn.Alu { op = Insn.Add; dst = 10; src1 = 10; src2 = Insn.I 4 })
+    ; Program.Insn (Insn.Alu { op = Insn.Add; dst = 12; src1 = 12; src2 = Insn.I 1 })
+    ; Program.Insn
+        (Insn.Branch { cond = Insn.Lt; src1 = 12; src2 = Insn.I 500; target = "loop" })
+    ; Program.Insn Insn.Halt ]
+
+let golden_report () =
+  let cfg =
+    Config.with_mechanism
+      (Config.Dual { table_entries = 64; selection = Config.Compiler_directed })
+      Config.default
+  in
+  let t, _ = Pipeline.run cfg (golden_program ()) in
+  Json.to_string ~pretty:true (Report.to_json ~meta:[ ("workload", Json.String "golden") ] t)
+  ^ "\n"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_report () =
+  (match Sys.getenv_opt "ELAG_UPDATE_GOLDEN" with
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc (golden_report ());
+    close_out oc
+  | None -> ());
+  let expected = read_file "golden_report.json" in
+  check_str "report matches golden file" expected (golden_report ())
+
+let suite =
+  [ Alcotest.test_case "json: printing" `Quick test_json_printing
+  ; Alcotest.test_case "histogram: bucketing" `Quick test_histogram_bucketing
+  ; Alcotest.test_case "histogram: percentiles" `Quick test_histogram_percentiles
+  ; Alcotest.test_case "metrics: registry" `Quick test_metrics_registry
+  ; Alcotest.test_case "trace: events" `Quick test_trace_events
+  ; Alcotest.test_case "stall: names" `Quick test_stall_names_roundtrip
+  ; Alcotest.test_case "pipeline: stall invariant" `Quick test_stall_invariant
+  ; Alcotest.test_case "pipeline: load sites account" `Quick test_load_sites_account
+  ; Alcotest.test_case "bric: stats" `Quick test_bric_stats
+  ; Alcotest.test_case "bric: surfaced" `Quick test_bric_stats_surfaced
+  ; Alcotest.test_case "report: golden file" `Quick test_golden_report ]
