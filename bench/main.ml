@@ -20,10 +20,19 @@
                                            stall-cause breakdown under the
                                            dual-cc scheme, with full config
                                            provenance, so the perf trajectory
-                                           is trackable across PRs *)
+                                           is trackable across PRs
+     dune exec bench/main.exe engine       write BENCH_engine.json: full
+                                           evaluation-grid sweep serial vs
+                                           parallel, wall-clock for both, and
+                                           a byte-identity check of the two
+                                           sweep artifacts
 
-module Experiments = Elag_harness.Experiments
-module Context = Elag_harness.Context
+   All modes take -j N to size the engine's worker pool (default:
+   Domain.recommended_domain_count). *)
+
+module Experiments = Elag_engine.Experiments
+module Engine = Elag_engine.Engine
+module Pool = Elag_engine.Pool
 module Compile = Elag_harness.Compile
 module Profile = Elag_harness.Profile
 module Config = Elag_sim.Config
@@ -36,24 +45,23 @@ module Stride_entry = Elag_predict.Stride_entry
 
 (* --- Bechamel micro-benchmarks ----------------------------------------- *)
 
-let micro_workload = lazy (Context.get (Suite.find "PGP Encode"))
+(* Micro-benchmarks time single artifacts, so they run on a serial
+   engine: the handle is only a compile/profile cache here. *)
+let micro_engine = lazy (Engine.create ~jobs:1 ())
 
-let bench_emulator () =
-  let e = Lazy.force micro_workload in
-  ignore (Emulator.run_program e.Context.program)
+let micro_program = lazy (Engine.program (Lazy.force micro_engine) (Suite.find "PGP Encode"))
+
+let bench_emulator () = ignore (Emulator.run_program (Lazy.force micro_program))
 
 let bench_pipeline mechanism () =
-  let e = Lazy.force micro_workload in
   let cfg = Config.with_mechanism mechanism Config.default in
-  ignore (Pipeline.simulate cfg e.Context.program)
+  ignore (Pipeline.simulate cfg (Lazy.force micro_program))
 
 let bench_compile () =
   let w = Suite.find "072.sc" in
   ignore (Compile.compile w.Workload.source)
 
-let bench_profile () =
-  let e = Lazy.force micro_workload in
-  ignore (Profile.collect e.Context.program)
+let bench_profile () = ignore (Profile.collect (Lazy.force micro_program))
 
 let bench_table_updates () =
   let t = Addr_table.create 256 in
@@ -75,7 +83,7 @@ let bench_stride_machine () =
    workload, so harness performance regressions are visible. *)
 let micro_tests =
   let open Bechamel in
-  let dual_cc = Config.Dual { table_entries = 256; selection = Config.Compiler_directed } in
+  let dual_cc = Config.Mechanism.of_string_exn "dual-cc" in
   Test.make_grouped ~name:"elag"
     [ Test.make ~name:"table2:profile-pass" (Staged.stage bench_profile)
     ; Test.make ~name:"fig5a:table-only-sim"
@@ -118,7 +126,7 @@ let run_micro () =
 
 let ablation_panel = [ "130.li"; "072.sc"; "023.eqntott" ]
 
-let dual_cc = Config.Dual { table_entries = 256; selection = Config.Compiler_directed }
+let dual_cc = Config.Mechanism.of_string_exn "dual-cc"
 
 let speedup_with cfg program =
   let base = Config.with_mechanism Config.No_early cfg in
@@ -127,10 +135,10 @@ let speedup_with cfg program =
   let d, _ = Pipeline.simulate dual program in
   float_of_int b.Pipeline.cycles /. float_of_int d.Pipeline.cycles
 
-let run_ablation () =
+let run_ablation engine =
   Printf.printf "Ablations: dual-path compiler-directed speedup vs design choices\n\n";
   let programs =
-    List.map (fun n -> (n, (Context.get (Suite.find n)).Context.program)) ablation_panel
+    List.map (fun n -> (n, Engine.program engine (Suite.find n))) ablation_panel
   in
   (* Oracle bound: if every load had zero latency and never missed, how
      fast could ANY early address-generation scheme possibly be?  The
@@ -140,8 +148,7 @@ let run_ablation () =
     (fun (n, p) ->
       let base = Config.with_mechanism Config.No_early Config.default in
       let oracle =
-        Config.with_mechanism Config.No_early
-          { Config.default with load_latency = 0; miss_penalty = 0 }
+        Config.make ~load_latency:0 ~miss_penalty:0 ~mechanism:Config.No_early ()
       in
       let b, _ = Pipeline.simulate base p in
       let o, _ = Pipeline.simulate oracle p in
@@ -156,7 +163,7 @@ let run_ablation () =
       List.iter
         (fun (n, p) ->
           Printf.printf "  %s %.3f" n
-            (speedup_with { Config.default with issue_width = width } p))
+            (speedup_with (Config.with_issue_width width Config.default) p))
         programs;
       print_newline ())
     [ 2; 4; 6; 8 ];
@@ -167,7 +174,7 @@ let run_ablation () =
       List.iter
         (fun (n, p) ->
           Printf.printf "  %s %.3f" n
-            (speedup_with { Config.default with cache_ways = ways } p))
+            (speedup_with (Config.with_cache_ways ways Config.default) p))
         programs;
       print_newline ())
     [ 1; 2; 4 ];
@@ -178,7 +185,7 @@ let run_ablation () =
       List.iter
         (fun (n, p) ->
           Printf.printf "  %s %.3f" n
-            (speedup_with { Config.default with miss_penalty = pen } p))
+            (speedup_with (Config.with_miss_penalty pen Config.default) p))
         programs;
       print_newline ())
     [ 4; 12; 30 ];
@@ -230,67 +237,136 @@ let bench_report_file = "BENCH_pipeline.json"
 (* One entry per workload: baseline and dual-cc cycle counts, IPC,
    speedup, and the dual-cc stall-cause breakdown.  The stall columns
    say not just *that* a workload regressed but *where the cycles
-   went*, which is what makes the artifact diffable across PRs. *)
-let run_report () =
-  let workload_json (w : Workload.t) =
-    let e = Context.get w in
+   went*, which is what makes the artifact diffable across PRs.
+   Workloads run on the engine's pool; rows are merged (and printed)
+   in suite order, so the artifact is identical at every -j. *)
+let run_report engine =
+  let workload_row (w : Workload.t) =
+    let program = Engine.program engine w in
     let cfg mech = Config.with_mechanism mech Config.default in
-    let base, _ = Pipeline.run (cfg Config.No_early) e.Context.program in
-    let dual, _ = Pipeline.run (cfg dual_cc) e.Context.program in
+    let base, _ = Pipeline.run (cfg Config.No_early) program in
+    let dual, _ = Pipeline.run (cfg dual_cc) program in
     let bs = Pipeline.stats base and ds = Pipeline.stats dual in
     let ipc (s : Pipeline.stats) =
       float_of_int s.Pipeline.instructions /. float_of_int (max 1 s.Pipeline.cycles)
     in
-    Printf.printf "  %-16s base=%8d dual-cc=%8d speedup=%.3f\n%!"
-      w.Workload.name bs.Pipeline.cycles ds.Pipeline.cycles
-      (float_of_int bs.Pipeline.cycles /. float_of_int ds.Pipeline.cycles);
-    Json.Obj
-      [ ("name", Json.String w.Workload.name)
-      ; ("suite", Json.String (Workload.suite_name w.Workload.suite))
-      ; ("instructions", Json.Int ds.Pipeline.instructions)
-      ; ("baseline_cycles", Json.Int bs.Pipeline.cycles)
-      ; ("cycles", Json.Int ds.Pipeline.cycles)
-      ; ("ipc", Json.Float (ipc ds))
-      ; ( "speedup"
-        , Json.Float
-            (float_of_int bs.Pipeline.cycles /. float_of_int (max 1 ds.Pipeline.cycles))
-        )
-      ; ( "stalls"
-        , Json.Obj
-            (("busy", Json.Int (Pipeline.busy_cycles dual))
-            :: List.map
-                 (fun (cause, n) -> (Stall.name cause, Json.Int n))
-                 (Pipeline.stall_breakdown dual)) ) ]
+    let line =
+      Printf.sprintf "  %-16s base=%8d dual-cc=%8d speedup=%.3f" w.Workload.name
+        bs.Pipeline.cycles ds.Pipeline.cycles
+        (float_of_int bs.Pipeline.cycles /. float_of_int ds.Pipeline.cycles)
+    in
+    let json =
+      Json.Obj
+        [ ("name", Json.String w.Workload.name)
+        ; ("suite", Json.String (Workload.suite_name w.Workload.suite))
+        ; ("instructions", Json.Int ds.Pipeline.instructions)
+        ; ("baseline_cycles", Json.Int bs.Pipeline.cycles)
+        ; ("cycles", Json.Int ds.Pipeline.cycles)
+        ; ("ipc", Json.Float (ipc ds))
+        ; ( "speedup"
+          , Json.Float
+              (float_of_int bs.Pipeline.cycles /. float_of_int (max 1 ds.Pipeline.cycles))
+          )
+        ; ( "stalls"
+          , Json.Obj
+              (("busy", Json.Int (Pipeline.busy_cycles dual))
+              :: List.map
+                   (fun (cause, n) -> (Stall.name cause, Json.Int n))
+                   (Pipeline.stall_breakdown dual)) ) ]
+    in
+    (line, json)
   in
   Printf.printf "pipeline report (baseline vs %s):\n" (Config.mechanism_name dual_cc);
+  let rows = Engine.map engine workload_row Suite.all in
+  List.iter (fun (line, _) -> print_endline line) rows;
   let doc =
     Json.Obj
       [ ("schema", Json.String "elag.bench.v1")
       ; ("mechanism", Json.String (Config.mechanism_name dual_cc))
       ; ("config", Config.to_json (Config.with_mechanism dual_cc Config.default))
-      ; ("workloads", Json.List (List.map workload_json Suite.all)) ]
+      ; ("workloads", Json.List (List.map snd rows)) ]
   in
   let oc = open_out bench_report_file in
   Json.output ~pretty:true oc doc;
   close_out oc;
   Printf.printf "wrote %s\n" bench_report_file
 
+(* --- engine wall-clock benchmark ----------------------------------------- *)
+
+let bench_engine_file = "BENCH_engine.json"
+
+(* The same full evaluation-grid sweep, once on a single-domain engine
+   and once on the pool, with fresh caches each time.  The two sweep
+   artifacts must be byte-identical (cycle counts and all); the wall
+   clocks and available core count are recorded so the speedup claim
+   is honest about the hardware it ran on. *)
+let run_engine_bench jobs =
+  let sweep jobs =
+    let engine = Engine.create ~jobs () in
+    let t0 = Unix.gettimeofday () in
+    let json = Json.to_string ~pretty:true (Engine.sweep_json engine (Experiments.grid ())) in
+    (json, Unix.gettimeofday () -. t0)
+  in
+  let n_jobs = List.length (Experiments.grid ()) in
+  Printf.printf "engine sweep: %d grid jobs, serial then -j %d\n%!" n_jobs jobs;
+  let serial_json, serial_s = sweep 1 in
+  Printf.printf "  serial:   %.1fs\n%!" serial_s;
+  let parallel_json, parallel_s = sweep jobs in
+  Printf.printf "  -j %-5d: %.1fs (%.2fx)\n%!" jobs parallel_s (serial_s /. parallel_s);
+  let identical = String.equal serial_json parallel_json in
+  Printf.printf "  artifacts byte-identical: %b\n" identical;
+  let doc =
+    Json.Obj
+      [ ("schema", Json.String "elag.bench.engine.v1")
+      ; ("grid_jobs", Json.Int n_jobs)
+      ; ("cores", Json.Int (Pool.default_jobs ()))
+      ; ("jobs", Json.Int jobs)
+      ; ("serial_seconds", Json.Float serial_s)
+      ; ("parallel_seconds", Json.Float parallel_s)
+      ; ("speedup", Json.Float (serial_s /. parallel_s))
+      ; ("byte_identical", Json.Bool identical) ]
+  in
+  let oc = open_out bench_engine_file in
+  Json.output ~pretty:true oc doc;
+  close_out oc;
+  Printf.printf "wrote %s\n" bench_engine_file;
+  if not identical then exit 1
+
 (* --- entry point ----------------------------------------------------------- *)
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
-  | "table2" -> Experiments.print_table2 ()
-  | "fig5a" -> Experiments.print_fig5a ()
-  | "fig5b" -> Experiments.print_fig5b ()
-  | "fig5c" -> Experiments.print_fig5c ()
-  | "table3" -> Experiments.print_table3 ()
-  | "table4" -> Experiments.print_table4 ()
-  | "all" -> Experiments.run_all ()
+  let jobs = ref (Pool.default_jobs ()) in
+  let mode = ref "all" in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest ->
+      (jobs :=
+         match int_of_string_opt n with
+         | Some n when n > 0 -> n
+         | _ ->
+           prerr_endline "-j expects a positive integer";
+           exit 1);
+      parse rest
+    | arg :: rest ->
+      mode := arg;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let engine () = Engine.create ~jobs:!jobs () in
+  match !mode with
+  | "table2" -> Experiments.print_table2 (engine ())
+  | "fig5a" -> Experiments.print_fig5a (engine ())
+  | "fig5b" -> Experiments.print_fig5b (engine ())
+  | "fig5c" -> Experiments.print_fig5c (engine ())
+  | "table3" -> Experiments.print_table3 (engine ())
+  | "table4" -> Experiments.print_table4 (engine ())
+  | "all" -> Experiments.run_all (engine ())
   | "micro" -> run_micro ()
-  | "ablation" -> run_ablation ()
-  | "report" -> run_report ()
+  | "ablation" -> run_ablation (engine ())
+  | "report" -> run_report (engine ())
+  | "engine" -> run_engine_bench !jobs
   | other ->
     prerr_endline ("unknown mode: " ^ other);
     prerr_endline
-      "modes: all table2 fig5a fig5b fig5c table3 table4 micro ablation report";
+      "modes: all table2 fig5a fig5b fig5c table3 table4 micro ablation report engine [-j N]";
     exit 1

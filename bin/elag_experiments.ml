@@ -1,16 +1,41 @@
 (* Regenerate every table and figure from the paper's evaluation
-   section.  With an argument, run only that artifact:
-     table2 | fig5a | fig5b | fig5c | table3 | table4 | all *)
+   section on the parallel experiment engine.  Usage:
+
+     elag_experiments [-j N] [artifact]
+       artifact: table2 | fig5a | fig5b | fig5c | table3 | table4 | all
+       -j N:     worker domains (default: Domain.recommended_domain_count) *)
+
+module Engine = Elag_engine.Engine
+module Experiments = Elag_engine.Experiments
+module Pool = Elag_engine.Pool
+
+let usage () =
+  prerr_endline "usage: elag_experiments [-j N] [table2|fig5a|fig5b|fig5c|table3|table4|all]";
+  exit 1
 
 let () =
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
-  | "table2" -> Elag_harness.Experiments.print_table2 ()
-  | "fig5a" -> Elag_harness.Experiments.print_fig5a ()
-  | "fig5b" -> Elag_harness.Experiments.print_fig5b ()
-  | "fig5c" -> Elag_harness.Experiments.print_fig5c ()
-  | "table3" -> Elag_harness.Experiments.print_table3 ()
-  | "table4" -> Elag_harness.Experiments.print_table4 ()
-  | "all" -> Elag_harness.Experiments.run_all ()
+  let jobs = ref (Pool.default_jobs ()) in
+  let artifact = ref "all" in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest ->
+      (jobs := match int_of_string_opt n with Some n when n > 0 -> n | _ -> usage ());
+      parse rest
+    | [ "-j" ] -> usage ()
+    | arg :: rest ->
+      artifact := arg;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let engine = Engine.create ~jobs:!jobs () in
+  match !artifact with
+  | "table2" -> Experiments.print_table2 engine
+  | "fig5a" -> Experiments.print_fig5a engine
+  | "fig5b" -> Experiments.print_fig5b engine
+  | "fig5c" -> Experiments.print_fig5c engine
+  | "table3" -> Experiments.print_table3 engine
+  | "table4" -> Experiments.print_table4 engine
+  | "all" -> Experiments.run_all engine
   | other ->
     prerr_endline ("unknown artifact: " ^ other);
-    exit 1
+    usage ()

@@ -2,9 +2,17 @@
    timing configuration.  Usage:
 
      elag_sim_run                       — emulate every workload, print stats
+     elag_sim_run --all                 — same, explicitly
+     elag_sim_run --all <mechanism>     — time every workload under one
+                                          mechanism on the parallel engine
      elag_sim_run <name>                — emulate one workload
      elag_sim_run <name> <mechanism>    — time it (mechanisms: baseline,
-                                          table-N, calc-N, dual-hw, dual-cc)
+                                          table-N[-hw|-cc], calc-N,
+                                          dual-hw, dual-cc, dual-N-hw|-cc)
+
+   Multi-workload modes fan out over -j N worker domains (default:
+   Domain.recommended_domain_count); output order is always the suite
+   order, independent of -j.
 
    Telemetry flags (timed runs only):
 
@@ -27,30 +35,33 @@ module Suite = Elag_workloads.Suite
 module Json = Elag_telemetry.Json
 module Trace = Elag_telemetry.Trace
 module Insn = Elag_isa.Insn
+module Engine = Elag_engine.Engine
+module Pool = Elag_engine.Pool
 
 let usage () =
   prerr_endline
-    "usage: elag_sim_run [workload [mechanism]] [--report json|csv] [--trace FILE] [--max-insns N]";
+    "usage: elag_sim_run [--all] [workload [mechanism]] [-j N] [--report json|csv] [--trace FILE] [--max-insns N]";
   exit 1
 
+(* Unknown-name errors print the full vocabulary instead of dying with
+   a bare exception. *)
 let mechanism_of_string s =
-  let int_suffix prefix =
-    let n = String.length prefix in
-    if String.length s > n && String.sub s 0 n = prefix then
-      int_of_string_opt (String.sub s n (String.length s - n))
-    else None
-  in
-  match s with
-  | "baseline" -> Config.No_early
-  | "dual-hw" -> Config.Dual { table_entries = 256; selection = Config.Hardware_selected }
-  | "dual-cc" -> Config.Dual { table_entries = 256; selection = Config.Compiler_directed }
-  | _ -> (
-    match int_suffix "table-" with
-    | Some n -> Config.Table_only { entries = n; compiler_filtered = false }
-    | None -> (
-      match int_suffix "calc-" with
-      | Some n -> Config.Calc_only { bric_entries = n }
-      | None -> failwith ("unknown mechanism " ^ s)))
+  match Config.Mechanism.of_string s with
+  | Some m -> m
+  | None ->
+    Printf.eprintf
+      "unknown mechanism %s\nknown mechanisms: %s\n(also accepted: table-N, calc-N, dual-N-hw, dual-N-cc)\n"
+      s
+      (String.concat " " (List.map Config.Mechanism.to_string Config.Mechanism.all));
+    usage ()
+
+let find_workload name =
+  try Suite.find name
+  with Invalid_argument _ ->
+    Printf.eprintf "unknown workload %s\nknown workloads: %s\n" name
+      (String.concat ", "
+         (List.map (fun (w : Workload.t) -> w.Workload.name) Suite.all));
+    usage ()
 
 let emulate_one (w : Workload.t) =
   let t0 = Unix.gettimeofday () in
@@ -58,9 +69,36 @@ let emulate_one (w : Workload.t) =
   let t1 = Unix.gettimeofday () in
   let emu = Emulator.run_program program in
   let t2 = Unix.gettimeofday () in
-  Printf.printf "%-16s  insns=%9d  compile=%.2fs run=%.2fs  output=%s\n%!"
+  Printf.sprintf "%-16s  insns=%9d  compile=%.2fs run=%.2fs  output=%s"
     w.Workload.name (Emulator.retired emu) (t1 -. t0) (t2 -. t1)
     (String.concat "," (String.split_on_char '\n' (String.trim (Emulator.output emu))))
+
+(* Emulate every workload on the pool; lines print in suite order once
+   all work is done, so output is identical at every -j. *)
+let emulate_all ~jobs =
+  List.iter print_endline (Pool.map_list ~jobs emulate_one Suite.all)
+
+(* Time every workload under one mechanism through the engine.  The
+   baselines the speedup column needs are scheduled as pool jobs too,
+   so the printing loop below runs entirely out of cache. *)
+let time_all ~jobs mech =
+  let engine = Engine.create ~jobs () in
+  let sweep =
+    List.concat_map
+      (fun w -> [ Engine.Job.make w Config.No_early; Engine.Job.make w mech ])
+      Suite.all
+  in
+  ignore (Engine.run_jobs engine sweep);
+  Printf.printf "%-16s %12s %12s %8s %9s\n" "workload" "cycles" "insns" "IPC"
+    "speedup";
+  List.iter
+    (fun (w : Workload.t) ->
+      let s = Engine.simulate engine w mech in
+      Printf.printf "%-16s %12d %12d %8.2f %9.3f\n" w.Workload.name
+        s.Pipeline.cycles s.Pipeline.instructions
+        (float_of_int s.Pipeline.instructions /. float_of_int (max 1 s.Pipeline.cycles))
+        (Engine.speedup engine w mech))
+    Suite.all
 
 (* Map each instruction class to its own about:tracing thread row so
    loads, stores, branches and ALU traffic read as separate lanes. *)
@@ -139,6 +177,8 @@ let () =
   let report = ref None
   and trace_file = ref None
   and max_insns = ref None
+  and jobs = ref (Pool.default_jobs ())
+  and all = ref false
   and positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -156,17 +196,25 @@ let () =
       (max_insns :=
          match int_of_string_opt n with Some n when n > 0 -> Some n | _ -> usage ());
       parse rest
-    | ("--report" | "--trace" | "--max-insns") :: [] -> usage ()
+    | "-j" :: n :: rest ->
+      (jobs := match int_of_string_opt n with Some n when n > 0 -> n | _ -> usage ());
+      parse rest
+    | "--all" :: rest ->
+      all := true;
+      parse rest
+    | ("--report" | "--trace" | "--max-insns" | "-j") :: [] -> usage ()
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
     | arg :: rest ->
       positional := arg :: !positional;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  match (List.rev !positional, !report, !trace_file) with
-  | [], None, None -> List.iter emulate_one Suite.all
-  | [ name ], None, None -> emulate_one (Suite.find name)
-  | [ name; mech ], report, trace_file ->
-    time_one (Suite.find name) (mechanism_of_string mech) ~report ~trace_file
+  match (!all, List.rev !positional, !report, !trace_file) with
+  | true, [], None, None -> emulate_all ~jobs:!jobs
+  | true, [ mech ], None, None -> time_all ~jobs:!jobs (mechanism_of_string mech)
+  | false, [], None, None -> emulate_all ~jobs:!jobs
+  | false, [ name ], None, None -> emulate_one (find_workload name) |> print_endline
+  | false, [ name; mech ], report, trace_file ->
+    time_one (find_workload name) (mechanism_of_string mech) ~report ~trace_file
       ~max_insns:!max_insns
   | _ -> usage ()

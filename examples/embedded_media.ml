@@ -8,7 +8,7 @@
 
    Run with:  dune exec examples/embedded_media.exe *)
 
-module Context = Elag_harness.Context
+module Engine = Elag_engine.Engine
 module Config = Elag_sim.Config
 module Suite = Elag_workloads.Suite
 module Workload = Elag_workloads.Workload
@@ -19,17 +19,18 @@ let () =
      versus a hardware-only table four times larger.@.@.";
   Fmt.pr "%-14s %10s %12s %12s %10s@." "workload" "dyn loads" "cc-dual-256"
     "hw-table-1k" "PD rate";
+  let engine = Engine.create () in
   let rows =
-    List.map
+    Engine.map engine
       (fun (w : Workload.t) ->
-        let e = Context.get w in
-        let dist = Context.distribution e in
+        let dist = Engine.distribution engine w in
         let cc =
-          Context.speedup e
+          Engine.speedup engine w
             (Config.Dual { table_entries = 256; selection = Config.Compiler_directed })
         in
         let hw_big =
-          Context.speedup e (Config.Table_only { entries = 1024; compiler_filtered = false })
+          Engine.speedup engine w
+            (Config.Table_only { entries = 1024; compiler_filtered = false })
         in
         (w.Workload.name, dist, cc, hw_big))
       Suite.media
@@ -37,8 +38,8 @@ let () =
   List.iter
     (fun (name, dist, cc, hw_big) ->
       Fmt.pr "%-14s %10d %12.2f %12.2f %9.1f%%@." name
-        dist.Context.total_dynamic_loads cc hw_big
-        (Option.value dist.Context.rate_pd ~default:0.))
+        dist.Engine.total_dynamic_loads cc hw_big
+        (Option.value dist.Engine.rate_pd ~default:0.))
     rows;
   let mean f = List.fold_left (fun a r -> a +. f r) 0. rows /. float_of_int (List.length rows) in
   Fmt.pr "%-14s %10s %12.2f %12.2f@." "average" ""

@@ -1,0 +1,29 @@
+type 'v slot = { slot_lock : Mutex.t; mutable value : 'v option }
+
+type ('k, 'v) t = { lock : Mutex.t; slots : ('k, 'v slot) Hashtbl.t }
+
+let create ?(size = 32) () = { lock = Mutex.create (); slots = Hashtbl.create size }
+
+let find_or_compute t key f =
+  let slot =
+    Mutex.protect t.lock (fun () ->
+        match Hashtbl.find_opt t.slots key with
+        | Some s -> s
+        | None ->
+          let s = { slot_lock = Mutex.create (); value = None } in
+          Hashtbl.replace t.slots key s;
+          s)
+  in
+  Mutex.protect slot.slot_lock (fun () ->
+      match slot.value with
+      | Some v -> v
+      | None ->
+        let v = f () in
+        slot.value <- Some v;
+        v)
+
+let length t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun _ slot acc -> match slot.value with Some _ -> acc + 1 | None -> acc)
+        t.slots 0)

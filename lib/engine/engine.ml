@@ -1,0 +1,164 @@
+module Config = Elag_sim.Config
+module Pipeline = Elag_sim.Pipeline
+module Compile = Elag_harness.Compile
+module Profile = Elag_harness.Profile
+module Workload = Elag_workloads.Workload
+module Program = Elag_isa.Program
+module Insn = Elag_isa.Insn
+module Json = Elag_telemetry.Json
+
+type variant = Classified | Reclassified
+
+type t =
+  { jobs : int
+  ; base_config : Config.t
+  ; programs : (string, Program.t) Cache.t        (* workload name *)
+  ; profiles : (string, Profile.t) Cache.t
+  ; reclassifieds : (string, Program.t) Cache.t
+  ; sims : (string, Pipeline.stats) Cache.t }     (* workload + variant + config *)
+
+let create ?jobs ?(config = Config.default) () =
+  { jobs = (match jobs with Some j -> max 1 j | None -> Pool.default_jobs ())
+  ; base_config = config
+  ; programs = Cache.create ()
+  ; profiles = Cache.create ()
+  ; reclassifieds = Cache.create ()
+  ; sims = Cache.create ~size:256 () }
+
+let jobs t = t.jobs
+let base_config t = t.base_config
+
+let program t (w : Workload.t) =
+  Cache.find_or_compute t.programs w.Workload.name (fun () ->
+      Compile.compile w.Workload.source)
+
+let profile t (w : Workload.t) =
+  Cache.find_or_compute t.profiles w.Workload.name (fun () ->
+      Profile.collect (program t w))
+
+let reclassified t (w : Workload.t) =
+  Cache.find_or_compute t.reclassifieds w.Workload.name (fun () ->
+      Profile.reclassify (profile t w) (program t w))
+
+let program_of t w = function
+  | Classified -> program t w
+  | Reclassified -> reclassified t w
+
+let variant_suffix = function Classified -> "" | Reclassified -> "+prof"
+
+let simulate ?(variant = Classified) ?config t (w : Workload.t) mechanism =
+  let cfg =
+    Config.with_mechanism mechanism (Option.value config ~default:t.base_config)
+  in
+  (* The key covers the full machine configuration, not just the
+     mechanism name, so per-job config overrides can never collide. *)
+  let key =
+    w.Workload.name ^ variant_suffix variant ^ "|" ^ Json.to_string (Config.to_json cfg)
+  in
+  Cache.find_or_compute t.sims key (fun () ->
+      let stats, output = Pipeline.simulate cfg (program_of t w variant) in
+      (match w.Workload.expected_output with
+      | Some expected when String.trim output <> String.trim expected ->
+        failwith
+          (Printf.sprintf "%s: output mismatch under %s%s" w.Workload.name
+             (Config.mechanism_name mechanism) (variant_suffix variant))
+      | _ -> ());
+      stats)
+
+let base_cycles ?config t w =
+  (simulate ?config t w Config.No_early).Pipeline.cycles
+
+let speedup ?variant ?config t w mechanism =
+  let s = simulate ?variant ?config t w mechanism in
+  float_of_int (base_cycles ?config t w) /. float_of_int s.Pipeline.cycles
+
+type distribution =
+  { static_nt : float; static_pd : float; static_ec : float
+  ; dynamic_nt : float; dynamic_pd : float; dynamic_ec : float
+  ; rate_nt : float option
+  ; rate_pd : float option
+  ; total_dynamic_loads : int }
+
+let spec_of_insn = function
+  | Insn.Load { spec; _ } -> Some spec
+  | _ -> None
+
+let distribution ?(variant = Classified) t w =
+  let prof = profile t w in
+  let prog = program_of t w variant in
+  let loads = Program.static_loads prog in
+  let pcs_of spec =
+    List.filter_map
+      (fun (pc, insn) -> if spec_of_insn insn = Some spec then Some pc else None)
+      loads
+  in
+  let nt = pcs_of Insn.Ld_n and pd = pcs_of Insn.Ld_p and ec = pcs_of Insn.Ld_e in
+  let st_total = List.length loads in
+  let dyn count_pcs =
+    List.fold_left (fun acc pc -> acc + Profile.executions prof pc) 0 count_pcs
+  in
+  let dyn_nt = dyn nt and dyn_pd = dyn pd and dyn_ec = dyn ec in
+  let dyn_total = max 1 (dyn_nt + dyn_pd + dyn_ec) in
+  let pct a b = 100. *. float_of_int a /. float_of_int (max 1 b) in
+  let rate pcs = Elag_predict.Ideal.aggregate_rate prof.Profile.rates pcs in
+  { static_nt = pct (List.length nt) st_total
+  ; static_pd = pct (List.length pd) st_total
+  ; static_ec = pct (List.length ec) st_total
+  ; dynamic_nt = pct dyn_nt dyn_total
+  ; dynamic_pd = pct dyn_pd dyn_total
+  ; dynamic_ec = pct dyn_ec dyn_total
+  ; rate_nt = Option.map (fun r -> 100. *. r) (rate nt)
+  ; rate_pd = Option.map (fun r -> 100. *. r) (rate pd)
+  ; total_dynamic_loads = dyn_total }
+
+module Job = struct
+  type nonrec t =
+    { workload : Workload.t
+    ; mechanism : Config.mechanism
+    ; variant : variant
+    ; config : Config.t }
+
+  let make ?(variant = Classified) ?(config = Config.default) workload mechanism =
+    { workload; mechanism; variant; config }
+
+  let name j =
+    j.workload.Workload.name ^ "/" ^ Config.mechanism_name j.mechanism
+    ^ variant_suffix j.variant
+end
+
+let map t f items = Pool.map_list ~jobs:t.jobs f items
+
+let run_job t (j : Job.t) =
+  simulate ~variant:j.Job.variant ~config:j.Job.config t j.Job.workload j.Job.mechanism
+
+let run_jobs t js = map t (fun j -> (j, run_job t j)) js
+
+let sweep_json t js =
+  let row (j : Job.t) =
+    let s = run_job t j in
+    let base = base_cycles ~config:j.Job.config t j.Job.workload in
+    let w = j.Job.workload in
+    Json.Obj
+      [ ("workload", Json.String w.Workload.name)
+      ; ("suite", Json.String (Workload.suite_name w.Workload.suite))
+      ; ("mechanism", Config.mechanism_to_json j.Job.mechanism)
+      ; ( "variant"
+        , Json.String
+            (match j.Job.variant with
+            | Classified -> "classified"
+            | Reclassified -> "reclassified") )
+      ; ("instructions", Json.Int s.Pipeline.instructions)
+      ; ("cycles", Json.Int s.Pipeline.cycles)
+      ; ( "ipc"
+        , Json.Float
+            (float_of_int s.Pipeline.instructions
+            /. float_of_int (max 1 s.Pipeline.cycles)) )
+      ; ( "speedup"
+        , Json.Float (float_of_int base /. float_of_int (max 1 s.Pipeline.cycles)) )
+      ]
+  in
+  Json.Obj
+    [ ("schema", Json.String "elag.engine.sweep.v1")
+    ; ("config", Config.to_json t.base_config)
+    ; ("job_count", Json.Int (List.length js))
+    ; ("results", Json.List (map t row js)) ]

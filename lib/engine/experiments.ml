@@ -1,40 +1,65 @@
 (* Generators for every table and figure in the paper's evaluation
    section, each printing measured values side by side with the
-   paper's. *)
+   paper's.  Row data is computed through an Engine handle — rows in
+   parallel on its pool, merged in suite order — and printed only
+   after the parallel phase, so stdout is deterministic. *)
 
 module Config = Elag_sim.Config
 module Pipeline = Elag_sim.Pipeline
 module Workload = Elag_workloads.Workload
 module Suite = Elag_workloads.Suite
+module Paper_data = Elag_harness.Paper_data
 
 let pf = Printf.printf
 
-let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (max 1 (List.length xs))
+let mean = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs))
+
+let mean_exn xs =
+  match mean xs with
+  | Some m -> m
+  | None -> invalid_arg "Experiments.mean: empty list"
 
 let opt_f = function Some v -> Printf.sprintf "%6.2f" v | None -> "     -"
+
+let dual_cc = Config.Dual { table_entries = 256; selection = Config.Compiler_directed }
+
+(* The full evaluation grid (Figures 5a-c, Tables 2-4): every SPEC
+   workload crossed with the canonical mechanism list plus the
+   reclassified dual-path point of Table 3; every MediaBench workload
+   under the points Table 4 reports (baseline and dual-cc). *)
+let grid () =
+  List.concat_map
+    (fun w ->
+      List.map (fun m -> Engine.Job.make w m) Config.Mechanism.all
+      @ [ Engine.Job.make ~variant:Engine.Reclassified w dual_cc ])
+    Suite.spec
+  @ List.concat_map
+      (fun w -> [ Engine.Job.make w Config.No_early; Engine.Job.make w dual_cc ])
+      Suite.media
 
 (* --- Table 2 ---------------------------------------------------------- *)
 
 type table2_row =
   { name : string
   ; loads_m : float
-  ; dist : Context.distribution }
+  ; dist : Engine.distribution }
 
-let table2_rows () =
-  List.map
+let table2_rows engine =
+  Engine.map engine
     (fun w ->
-      let e = Context.get w in
-      let prof = Context.profile e in
+      let prof = Engine.profile engine w in
       { name = w.Workload.name
-      ; loads_m = float_of_int prof.Profile.total_loads /. 1_000_000.
-      ; dist = Context.distribution e })
+      ; loads_m = float_of_int prof.Elag_harness.Profile.total_loads /. 1_000_000.
+      ; dist = Engine.distribution engine w })
     Suite.spec
 
-let print_table2 () =
+let print_table2 engine =
   pf "Table 2: load characteristics and prediction rates (measured | paper)\n";
   pf "%-14s %6s | %-23s | %-23s | %-15s | %-15s\n" "benchmark" "loadsM"
     "static %  NT/PD/EC" "dynamic %  NT/PD/EC" "NT rate" "PD rate";
-  let rows = table2_rows () in
+  let rows = table2_rows engine in
   List.iter
     (fun r ->
       let d = r.dist in
@@ -46,53 +71,55 @@ let print_table2 () =
       in
       let paper1 f = match p with Some p -> Printf.sprintf "%5.1f" (f p) | None -> "  -" in
       pf "%-14s %6.1f | %4.0f/%4.0f/%4.0f %s | %4.0f/%4.0f/%4.0f %s | %s %s | %s %s\n"
-        r.name r.loads_m d.Context.static_nt d.Context.static_pd d.Context.static_ec
+        r.name r.loads_m d.Engine.static_nt d.Engine.static_pd d.Engine.static_ec
         (paper3 (fun p -> p.Paper_data.t2_static_nt) (fun p -> p.Paper_data.t2_static_pd)
            (fun p -> p.Paper_data.t2_static_ec))
-        d.Context.dynamic_nt d.Context.dynamic_pd d.Context.dynamic_ec
+        d.Engine.dynamic_nt d.Engine.dynamic_pd d.Engine.dynamic_ec
         (paper3 (fun p -> p.Paper_data.t2_dynamic_nt) (fun p -> p.Paper_data.t2_dynamic_pd)
            (fun p -> p.Paper_data.t2_dynamic_ec))
-        (opt_f d.Context.rate_nt) (paper1 (fun p -> p.Paper_data.t2_rate_nt))
-        (opt_f d.Context.rate_pd) (paper1 (fun p -> p.Paper_data.t2_rate_pd)))
+        (opt_f d.Engine.rate_nt) (paper1 (fun p -> p.Paper_data.t2_rate_nt))
+        (opt_f d.Engine.rate_pd) (paper1 (fun p -> p.Paper_data.t2_rate_pd)))
     rows;
-  let avg f = mean (List.map f rows) in
+  let avg f = mean_exn (List.map f rows) in
   pf "%-14s %6.1f | %4.0f/%4.0f/%4.0f                | %4.0f/%4.0f/%4.0f\n" "average"
     (avg (fun r -> r.loads_m))
-    (avg (fun r -> r.dist.Context.static_nt))
-    (avg (fun r -> r.dist.Context.static_pd))
-    (avg (fun r -> r.dist.Context.static_ec))
-    (avg (fun r -> r.dist.Context.dynamic_nt))
-    (avg (fun r -> r.dist.Context.dynamic_pd))
-    (avg (fun r -> r.dist.Context.dynamic_ec))
+    (avg (fun r -> r.dist.Engine.static_nt))
+    (avg (fun r -> r.dist.Engine.static_pd))
+    (avg (fun r -> r.dist.Engine.static_ec))
+    (avg (fun r -> r.dist.Engine.dynamic_nt))
+    (avg (fun r -> r.dist.Engine.dynamic_pd))
+    (avg (fun r -> r.dist.Engine.dynamic_ec))
 
 (* --- Figure 5a: table-only speedups ----------------------------------- *)
 
 let fig5a_sizes = [ 64; 128; 256 ]
 
-let fig5a_speedups () =
-  List.map
+let fig5a_speedups engine =
+  Engine.map engine
     (fun w ->
-      let e = Context.get w in
       let per_size filtered =
         List.map
           (fun entries ->
-            Context.speedup e (Config.Table_only { entries; compiler_filtered = filtered }))
+            Engine.speedup engine w
+              (Config.Table_only { entries; compiler_filtered = filtered }))
           fig5a_sizes
       in
       (w.Workload.name, per_size false, per_size true))
     Suite.spec
 
-let print_fig5a () =
+let print_fig5a engine =
   pf "Figure 5a: speedup, table-based prediction only\n";
   pf "%-14s | %-26s | %-26s\n" "benchmark" "hardware-only 64/128/256"
     "compiler-directed 64/128/256";
-  let rows = fig5a_speedups () in
+  let rows = fig5a_speedups engine in
   List.iter
     (fun (name, hw, cc) ->
       let s l = String.concat "/" (List.map (Printf.sprintf "%.2f") l) in
       pf "%-14s | %-26s | %-26s\n" name (s hw) (s cc))
     rows;
-  let avg sel i = mean (List.map (fun (_, hw, cc) -> List.nth (sel (hw, cc)) i) rows) in
+  let avg sel i =
+    mean_exn (List.map (fun (_, hw, cc) -> List.nth (sel (hw, cc)) i) rows)
+  in
   pf "%-14s | %.2f/%.2f/%.2f             | %.2f/%.2f/%.2f\n" "average"
     (avg fst 0) (avg fst 1) (avg fst 2) (avg snd 0) (avg snd 1) (avg snd 2)
 
@@ -100,25 +127,24 @@ let print_fig5a () =
 
 let fig5b_sizes = [ 4; 8; 16 ]
 
-let fig5b_speedups () =
-  List.map
+let fig5b_speedups engine =
+  Engine.map engine
     (fun w ->
-      let e = Context.get w in
       ( w.Workload.name
       , List.map
-          (fun n -> Context.speedup e (Config.Calc_only { bric_entries = n }))
+          (fun n -> Engine.speedup engine w (Config.Calc_only { bric_entries = n }))
           fig5b_sizes ))
     Suite.spec
 
-let print_fig5b () =
+let print_fig5b engine =
   pf "Figure 5b: speedup, early address calculation only (BRIC 4/8/16)\n";
-  let rows = fig5b_speedups () in
+  let rows = fig5b_speedups engine in
   List.iter
     (fun (name, l) ->
       pf "%-14s | %s\n" name
         (String.concat "/" (List.map (Printf.sprintf "%.2f") l)))
     rows;
-  let avg i = mean (List.map (fun (_, l) -> List.nth l i) rows) in
+  let avg i = mean_exn (List.map (fun (_, l) -> List.nth l i) rows) in
   pf "%-14s | %.2f/%.2f/%.2f\n" "average" (avg 0) (avg 1) (avg 2)
 
 (* --- Figure 5c: best hardware-only vs dual-path ------------------------ *)
@@ -131,36 +157,37 @@ type fig5c_row =
   ; dual_cc : float
   ; dual_cc_prof : float }
 
-let fig5c_rows () =
-  List.map
+let fig5c_rows engine =
+  Engine.map engine
     (fun w ->
-      let e = Context.get w in
       { f5c_name = w.Workload.name
-      ; table256 = Context.speedup e (Config.Table_only { entries = 256; compiler_filtered = false })
-      ; calc16 = Context.speedup e (Config.Calc_only { bric_entries = 16 })
-      ; dual_hw = Context.speedup e (Config.Dual { table_entries = 256; selection = Config.Hardware_selected })
-      ; dual_cc = Context.speedup e (Config.Dual { table_entries = 256; selection = Config.Compiler_directed })
-      ; dual_cc_prof =
-          Context.speedup e ~variant:Context.Reclassified
-            (Config.Dual { table_entries = 256; selection = Config.Compiler_directed }) })
+      ; table256 =
+          Engine.speedup engine w
+            (Config.Table_only { entries = 256; compiler_filtered = false })
+      ; calc16 = Engine.speedup engine w (Config.Calc_only { bric_entries = 16 })
+      ; dual_hw =
+          Engine.speedup engine w
+            (Config.Dual { table_entries = 256; selection = Config.Hardware_selected })
+      ; dual_cc = Engine.speedup engine w dual_cc
+      ; dual_cc_prof = Engine.speedup engine w ~variant:Engine.Reclassified dual_cc })
     Suite.spec
 
-let print_fig5c () =
+let print_fig5c engine =
   pf "Figure 5c: speedup, hardware-only vs dual-path early address generation\n";
   pf "%-14s | %-9s %-8s %-8s %-8s %-9s\n" "benchmark" "table-256" "calc-16"
     "dual-hw" "dual-cc" "dual-cc+p";
-  let rows = fig5c_rows () in
+  let rows = fig5c_rows engine in
   List.iter
     (fun r ->
       pf "%-14s | %-9.2f %-8.2f %-8.2f %-8.2f %-9.2f\n" r.f5c_name r.table256
         r.calc16 r.dual_hw r.dual_cc r.dual_cc_prof)
     rows;
   pf "%-14s | %-9.2f %-8.2f %-8.2f %-8.2f %-9.2f\n" "average"
-    (mean (List.map (fun r -> r.table256) rows))
-    (mean (List.map (fun r -> r.calc16) rows))
-    (mean (List.map (fun r -> r.dual_hw) rows))
-    (mean (List.map (fun r -> r.dual_cc) rows))
-    (mean (List.map (fun r -> r.dual_cc_prof) rows));
+    (mean_exn (List.map (fun r -> r.table256) rows))
+    (mean_exn (List.map (fun r -> r.calc16) rows))
+    (mean_exn (List.map (fun r -> r.dual_hw) rows))
+    (mean_exn (List.map (fun r -> r.dual_cc) rows))
+    (mean_exn (List.map (fun r -> r.dual_cc_prof) rows));
   pf "paper averages: dual-hw %.2f, dual-cc %.2f, dual-cc+profile %.2f\n"
     Paper_data.fig5c_avg_dual_hw Paper_data.fig5c_avg_dual_cc
     Paper_data.fig5c_avg_dual_cc_profiled
@@ -170,24 +197,21 @@ let print_fig5c () =
 type table3_row =
   { t3_name : string
   ; t3_speedup : float
-  ; t3_dist : Context.distribution }
+  ; t3_dist : Engine.distribution }
 
-let table3_rows () =
-  List.map
+let table3_rows engine =
+  Engine.map engine
     (fun w ->
-      let e = Context.get w in
       { t3_name = w.Workload.name
-      ; t3_speedup =
-          Context.speedup e ~variant:Context.Reclassified
-            (Config.Dual { table_entries = 256; selection = Config.Compiler_directed })
-      ; t3_dist = Context.distribution ~variant:Context.Reclassified e })
+      ; t3_speedup = Engine.speedup engine w ~variant:Engine.Reclassified dual_cc
+      ; t3_dist = Engine.distribution engine ~variant:Engine.Reclassified w })
     Suite.spec
 
-let print_table3 () =
+let print_table3 engine =
   pf "Table 3: profile-guided classification (threshold 60%%) (measured | paper)\n";
   pf "%-14s | %-15s | %-15s | %-15s | %-15s | %-15s\n" "benchmark" "speedup"
     "static PD %" "dynamic PD %" "NT rate" "PD rate";
-  let rows = table3_rows () in
+  let rows = table3_rows engine in
   List.iter
     (fun r ->
       let p = Paper_data.find_table3 r.t3_name in
@@ -195,66 +219,67 @@ let print_table3 () =
       let d = r.t3_dist in
       pf "%-14s | %5.2f %s | %6.2f %s | %6.2f %s | %s %s | %s %s\n" r.t3_name
         r.t3_speedup (pp1 (fun p -> p.Paper_data.t3_speedup))
-        d.Context.static_pd (pp1 (fun p -> p.Paper_data.t3_static_pd))
-        d.Context.dynamic_pd (pp1 (fun p -> p.Paper_data.t3_dynamic_pd))
-        (opt_f d.Context.rate_nt) (pp1 (fun p -> p.Paper_data.t3_rate_nt))
-        (opt_f d.Context.rate_pd) (pp1 (fun p -> p.Paper_data.t3_rate_pd)))
+        d.Engine.static_pd (pp1 (fun p -> p.Paper_data.t3_static_pd))
+        d.Engine.dynamic_pd (pp1 (fun p -> p.Paper_data.t3_dynamic_pd))
+        (opt_f d.Engine.rate_nt) (pp1 (fun p -> p.Paper_data.t3_rate_nt))
+        (opt_f d.Engine.rate_pd) (pp1 (fun p -> p.Paper_data.t3_rate_pd)))
     rows;
   pf "%-14s | %5.2f (paper 1.38)\n" "average"
-    (mean (List.map (fun r -> r.t3_speedup) rows))
+    (mean_exn (List.map (fun r -> r.t3_speedup) rows))
 
 (* --- Table 4: MediaBench ------------------------------------------------ *)
 
 type table4_row =
   { t4_name : string
   ; t4_loads_m : float
-  ; t4_dist : Context.distribution
+  ; t4_dist : Engine.distribution
   ; t4_speedup : float }
 
-let table4_rows () =
-  List.map
+let table4_rows engine =
+  Engine.map engine
     (fun w ->
-      let e = Context.get w in
-      let prof = Context.profile e in
+      let prof = Engine.profile engine w in
       { t4_name = w.Workload.name
-      ; t4_loads_m = float_of_int prof.Profile.total_loads /. 1_000_000.
-      ; t4_dist = Context.distribution e
-      ; t4_speedup =
-          Context.speedup e
-            (Config.Dual { table_entries = 256; selection = Config.Compiler_directed }) })
+      ; t4_loads_m = float_of_int prof.Elag_harness.Profile.total_loads /. 1_000_000.
+      ; t4_dist = Engine.distribution engine w
+      ; t4_speedup = Engine.speedup engine w dual_cc })
     Suite.media
 
-let print_table4 () =
+let print_table4 engine =
   pf "Table 4: MediaBench characteristics and speedup (measured | paper)\n";
   pf "%-14s %6s | %-20s | %-20s | %-13s | %-13s | %-13s\n" "benchmark" "loadsM"
     "static % NT/PD/EC" "dynamic % NT/PD/EC" "NT rate" "PD rate" "speedup";
-  let rows = table4_rows () in
+  let rows = table4_rows engine in
   List.iter
     (fun r ->
       let d = r.t4_dist in
       let p = Paper_data.find_table4 r.t4_name in
       let pp1 f = match p with Some p -> Printf.sprintf "%5.2f" (f p) | None -> "    -" in
       pf "%-14s %6.1f | %4.0f/%4.0f/%4.0f | %4.0f/%4.0f/%4.0f | %s %s | %s %s | %5.2f %s\n"
-        r.t4_name r.t4_loads_m d.Context.static_nt d.Context.static_pd
-        d.Context.static_ec d.Context.dynamic_nt d.Context.dynamic_pd
-        d.Context.dynamic_ec (opt_f d.Context.rate_nt)
-        (pp1 (fun p -> p.Paper_data.t4_rate_nt)) (opt_f d.Context.rate_pd)
+        r.t4_name r.t4_loads_m d.Engine.static_nt d.Engine.static_pd
+        d.Engine.static_ec d.Engine.dynamic_nt d.Engine.dynamic_pd
+        d.Engine.dynamic_ec (opt_f d.Engine.rate_nt)
+        (pp1 (fun p -> p.Paper_data.t4_rate_nt)) (opt_f d.Engine.rate_pd)
         (pp1 (fun p -> p.Paper_data.t4_rate_pd)) r.t4_speedup
         (pp1 (fun p -> p.Paper_data.t4_speedup)))
     rows;
   pf "%-14s        |                      |                      |        |        | %5.2f (paper 1.19)\n"
     "average"
-    (mean (List.map (fun r -> r.t4_speedup) rows))
+    (mean_exn (List.map (fun r -> r.t4_speedup) rows))
 
-let run_all () =
-  print_table2 ();
+let run_all engine =
+  (* One flat parallel sweep over the whole grid: finer-grained jobs
+     than per-table row maps, so the pool stays saturated; the table
+     printers below then run entirely out of cache. *)
+  ignore (Engine.run_jobs engine (grid ()));
+  print_table2 engine;
   pf "\n";
-  print_fig5a ();
+  print_fig5a engine;
   pf "\n";
-  print_fig5b ();
+  print_fig5b engine;
   pf "\n";
-  print_fig5c ();
+  print_fig5c engine;
   pf "\n";
-  print_table3 ();
+  print_table3 engine;
   pf "\n";
-  print_table4 ()
+  print_table4 engine

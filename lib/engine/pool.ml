@@ -1,0 +1,34 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run ~jobs f (items : 'a array) : 'b array =
+  let n = Array.length items in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.map f items
+  else begin
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r =
+          try Ok (f items.(i))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        results.(i) <- Some r;
+        worker ()
+      end
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every index was claimed exactly once *))
+      results
+  end
+
+let map_list ~jobs f items = Array.to_list (run ~jobs f (Array.of_list items))

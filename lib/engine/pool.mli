@@ -1,0 +1,19 @@
+(** Deterministic fixed-size [Domain] worker pool.
+
+    Jobs are indexed; workers claim the next unclaimed index from a
+    shared atomic counter and write the result into that index's slot.
+    Which domain runs which job is scheduling-dependent, but the merged
+    result array is always in job order, so any pure job function
+    yields byte-identical output at every [jobs] setting. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [run ~jobs f items] applies [f] to every item on up to [jobs]
+    domains (clamped to [1 .. Array.length items]) and returns the
+    results in item order.  If any job raises, the exception of the
+    lowest-indexed failing job is re-raised after all workers drain. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!run} over a list, preserving order. *)

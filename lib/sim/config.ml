@@ -57,6 +57,35 @@ let default =
   ; mispredict_penalty = 3
   ; mechanism = No_early }
 
+(* Labelled builder and per-field functional updates, so binaries and
+   benches never open-code record updates against the field list. *)
+let make ?(issue_width = default.issue_width) ?(int_alus = default.int_alus)
+    ?(mem_ports = default.mem_ports) ?(branch_units = default.branch_units)
+    ?(load_latency = default.load_latency) ?(mul_latency = default.mul_latency)
+    ?(div_latency = default.div_latency) ?(miss_penalty = default.miss_penalty)
+    ?(icache_bytes = default.icache_bytes) ?(dcache_bytes = default.dcache_bytes)
+    ?(line_bytes = default.line_bytes) ?(cache_ways = default.cache_ways)
+    ?(btb_entries = default.btb_entries)
+    ?(mispredict_penalty = default.mispredict_penalty)
+    ?(mechanism = default.mechanism) () =
+  { issue_width; int_alus; mem_ports; branch_units; load_latency; mul_latency
+  ; div_latency; miss_penalty; icache_bytes; dcache_bytes; line_bytes
+  ; cache_ways; btb_entries; mispredict_penalty; mechanism }
+
+let with_issue_width issue_width t = { t with issue_width }
+let with_int_alus int_alus t = { t with int_alus }
+let with_mem_ports mem_ports t = { t with mem_ports }
+let with_branch_units branch_units t = { t with branch_units }
+let with_load_latency load_latency t = { t with load_latency }
+let with_mul_latency mul_latency t = { t with mul_latency }
+let with_div_latency div_latency t = { t with div_latency }
+let with_miss_penalty miss_penalty t = { t with miss_penalty }
+let with_icache_bytes icache_bytes t = { t with icache_bytes }
+let with_dcache_bytes dcache_bytes t = { t with dcache_bytes }
+let with_line_bytes line_bytes t = { t with line_bytes }
+let with_cache_ways cache_ways t = { t with cache_ways }
+let with_btb_entries btb_entries t = { t with btb_entries }
+let with_mispredict_penalty mispredict_penalty t = { t with mispredict_penalty }
 let with_mechanism mechanism t = { t with mechanism }
 
 let mechanism_name = function
@@ -67,6 +96,56 @@ let mechanism_name = function
   | Dual { table_entries; selection } ->
     Printf.sprintf "dual-%d-%s" table_entries
       (match selection with Hardware_selected -> "hw" | Compiler_directed -> "cc")
+
+(* Single source of truth for mechanism naming: [to_string] produces
+   canonical names, [of_string] parses them back (plus the short CLI
+   aliases "table-N", "dual-hw" and "dual-cc"), and [all] is the
+   paper's evaluation grid (Figures 5a-c). *)
+module Mechanism = struct
+  type t = mechanism
+
+  let to_string = mechanism_name
+
+  let all =
+    No_early
+    :: List.concat_map
+         (fun entries ->
+           [ Table_only { entries; compiler_filtered = false }
+           ; Table_only { entries; compiler_filtered = true } ])
+         [ 64; 128; 256 ]
+    @ List.map (fun n -> Calc_only { bric_entries = n }) [ 4; 8; 16 ]
+    @ [ Dual { table_entries = 256; selection = Hardware_selected }
+      ; Dual { table_entries = 256; selection = Compiler_directed } ]
+
+  let of_string s =
+    let int p = int_of_string_opt p in
+    match String.split_on_char '-' s with
+    | [ "baseline" ] -> Some No_early
+    | [ "dual"; "hw" ] -> Some (Dual { table_entries = 256; selection = Hardware_selected })
+    | [ "dual"; "cc" ] -> Some (Dual { table_entries = 256; selection = Compiler_directed })
+    | [ "table"; n ] | [ "table"; n; "hw" ] ->
+      Option.map (fun entries -> Table_only { entries; compiler_filtered = false }) (int n)
+    | [ "table"; n; "cc" ] ->
+      Option.map (fun entries -> Table_only { entries; compiler_filtered = true }) (int n)
+    | [ "calc"; n ] -> Option.map (fun bric_entries -> Calc_only { bric_entries }) (int n)
+    | [ "dual"; n; "hw" ] ->
+      Option.map
+        (fun table_entries -> Dual { table_entries; selection = Hardware_selected })
+        (int n)
+    | [ "dual"; n; "cc" ] ->
+      Option.map
+        (fun table_entries -> Dual { table_entries; selection = Compiler_directed })
+        (int n)
+    | _ -> None
+
+  let of_string_exn s =
+    match of_string s with
+    | Some m -> m
+    | None ->
+      invalid_arg
+        (Printf.sprintf "unknown mechanism %S (known: %s; also table-N, calc-N, dual-N-hw, dual-N-cc)"
+           s (String.concat " " (List.map to_string all)))
+end
 
 (* Provenance block embedded in every emitted report: the exact
    machine and mechanism a result was produced under. *)

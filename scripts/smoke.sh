@@ -17,4 +17,7 @@ dune exec bench/main.exe table2
 echo "== report: PGP Encode / baseline =="
 dune exec bin/elag_sim_run.exe -- "PGP Encode" baseline --report json
 
+echo "== engine: parallel sweep (-j 2) =="
+dune exec bin/elag_sim_run.exe -- --all -j 2
+
 echo "smoke: OK"

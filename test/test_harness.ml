@@ -1,14 +1,11 @@
-(* Harness tests: profiling and profile-guided reclassification, the
-   shared experiment context, and distribution accounting. *)
+(* Harness tests: profiling and profile-guided reclassification.
+   (Artifact caching and distribution accounting moved with the
+   Context-to-Engine redesign; see test_engine.ml.) *)
 
 module Compile = Elag_harness.Compile
 module Profile = Elag_harness.Profile
-module Context = Elag_harness.Context
 module Insn = Elag_isa.Insn
 module Program = Elag_isa.Program
-module Config = Elag_sim.Config
-module Suite = Elag_workloads.Suite
-module Workload = Elag_workloads.Workload
 module Runtime = Elag_workloads.Runtime
 
 let check = Alcotest.(check int)
@@ -80,39 +77,7 @@ let test_reclassify_threshold () =
         (Insn.load_spec (Program.insn unchanged pc) = Insn.load_spec insn))
     (Program.static_loads program)
 
-let test_context_caches () =
-  let w = Suite.find "PGP Encode" in
-  let e1 = Context.get w in
-  let e2 = Context.get w in
-  check_bool "entries cached" true (e1 == e2);
-  let s1 = Context.simulate e1 Config.No_early in
-  let s2 = Context.simulate e1 Config.No_early in
-  check_bool "simulations cached" true (s1 == s2)
-
-let test_distribution_sums () =
-  let w = Suite.find "PGP Encode" in
-  let e = Context.get w in
-  let d = Context.distribution e in
-  let close a b = abs_float (a -. b) < 0.01 in
-  check_bool "static sums to 100" true
-    (close (d.Context.static_nt +. d.Context.static_pd +. d.Context.static_ec) 100.);
-  check_bool "dynamic sums to 100" true
-    (close (d.Context.dynamic_nt +. d.Context.dynamic_pd +. d.Context.dynamic_ec) 100.);
-  check_bool "dynamic loads counted" true (d.Context.total_dynamic_loads > 10_000)
-
-let test_speedup_sane () =
-  let w = Suite.find "PGP Encode" in
-  let e = Context.get w in
-  let s =
-    Context.speedup e
-      (Config.Dual { table_entries = 256; selection = Config.Compiler_directed })
-  in
-  check_bool "speedup in a sane band" true (s >= 0.9 && s <= 3.0)
-
 let suite =
   [ Alcotest.test_case "profile rates" `Quick test_profile_collects_rates
   ; Alcotest.test_case "reclassify upgrades" `Quick test_reclassify_upgrades_nt
-  ; Alcotest.test_case "reclassify threshold" `Quick test_reclassify_threshold
-  ; Alcotest.test_case "context caching" `Quick test_context_caches
-  ; Alcotest.test_case "distribution sums" `Quick test_distribution_sums
-  ; Alcotest.test_case "speedup sane" `Quick test_speedup_sane ]
+  ; Alcotest.test_case "reclassify threshold" `Quick test_reclassify_threshold ]

@@ -11,5 +11,6 @@ let () =
     ; ("sim", Test_sim.suite)
     ; ("workloads", Test_workloads.suite)
     ; ("harness", Test_harness.suite)
+    ; ("engine", Test_engine.suite)
     ; ("telemetry", Test_telemetry.suite)
     ; ("properties", Test_properties.suite) ]

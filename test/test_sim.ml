@@ -338,8 +338,35 @@ let test_speedup_ordering_on_workload () =
     ; dual_cc
     ; Config.Dual { table_entries = 256; selection = Config.Hardware_selected } ]
 
+(* --- mechanism naming round-trip ----------------------------------------- *)
+
+let test_mechanism_roundtrip () =
+  List.iter
+    (fun m ->
+      let name = Config.Mechanism.to_string m in
+      match Config.Mechanism.of_string name with
+      | Some m' -> check_bool (name ^ " round-trips") true (m = m')
+      | None -> Alcotest.fail (name ^ " failed to parse back"))
+    Config.Mechanism.all;
+  (* short CLI aliases *)
+  check_bool "dual-cc alias" true
+    (Config.Mechanism.of_string "dual-cc"
+    = Some (Config.Dual { table_entries = 256; selection = Config.Compiler_directed }));
+  check_bool "dual-hw alias" true
+    (Config.Mechanism.of_string "dual-hw"
+    = Some (Config.Dual { table_entries = 256; selection = Config.Hardware_selected }));
+  check_bool "bare table alias" true
+    (Config.Mechanism.of_string "table-128"
+    = Some (Config.Table_only { entries = 128; compiler_filtered = false }));
+  check_bool "unknown rejected" true (Config.Mechanism.of_string "bogus-64" = None);
+  check_bool "non-numeric rejected" true (Config.Mechanism.of_string "table-x" = None);
+  check_bool "grid is duplicate-free" true
+    (List.length Config.Mechanism.all
+    = List.length (List.sort_uniq compare Config.Mechanism.all))
+
 let suite_head =
-  [ Alcotest.test_case "memory: rw" `Quick test_memory_rw
+  [ Alcotest.test_case "config: mechanism round-trip" `Quick test_mechanism_roundtrip
+  ; Alcotest.test_case "memory: rw" `Quick test_memory_rw
   ; Alcotest.test_case "memory: faults" `Quick test_memory_fault
   ; Alcotest.test_case "cache: direct mapped" `Quick test_cache_direct_mapped
   ; Alcotest.test_case "cache: probe pure" `Quick test_cache_probe_pure

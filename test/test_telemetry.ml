@@ -17,7 +17,7 @@ module Insn = Elag_isa.Insn
 module Layout = Elag_isa.Layout
 module Program = Elag_isa.Program
 module Suite = Elag_workloads.Suite
-module Context = Elag_harness.Context
+module Engine = Elag_engine.Engine
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -135,14 +135,19 @@ let invariant_mechanisms =
   ; Config.Table_only { entries = 256; compiler_filtered = false }
   ; Config.Dual { table_entries = 256; selection = Config.Compiler_directed } ]
 
+(* One shared serial engine: the tests only need its compile cache. *)
+let engine = lazy (Engine.create ~jobs:1 ())
+
+let program_of name = Engine.program (Lazy.force engine) (Suite.find name)
+
 let test_stall_invariant () =
   List.iter
     (fun name ->
-      let e = Context.get (Suite.find name) in
+      let program = program_of name in
       List.iter
         (fun mech ->
           let cfg = Config.with_mechanism mech Config.default in
-          let t, _ = Pipeline.run cfg e.Elag_harness.Context.program in
+          let t, _ = Pipeline.run cfg program in
           let s = Pipeline.stats t in
           let label = name ^ "/" ^ Config.mechanism_name mech in
           check (label ^ ": busy + stalls = cycles") s.Pipeline.cycles
@@ -156,13 +161,13 @@ let test_stall_invariant () =
     invariant_panel
 
 let test_load_sites_account () =
-  let e = Context.get (Suite.find "PGP Encode") in
+  let program = program_of "PGP Encode" in
   let cfg =
     Config.with_mechanism
       (Config.Dual { table_entries = 256; selection = Config.Compiler_directed })
       Config.default
   in
-  let t, _ = Pipeline.run cfg e.Elag_harness.Context.program in
+  let t, _ = Pipeline.run cfg program in
   let s = Pipeline.stats t in
   let sites = Pipeline.load_sites t in
   check_bool "has sites" true (sites <> []);
@@ -194,11 +199,11 @@ let test_bric_stats () =
   check "evictions" 1 st.Bric.br_evictions
 
 let test_bric_stats_surfaced () =
-  let e = Context.get (Suite.find "PGP Encode") in
+  let program = program_of "PGP Encode" in
   let cfg =
     Config.with_mechanism (Config.Calc_only { bric_entries = 8 }) Config.default
   in
-  let t, _ = Pipeline.run cfg e.Elag_harness.Context.program in
+  let t, _ = Pipeline.run cfg program in
   match Pipeline.bric_stats t with
   | None -> Alcotest.fail "calc-only pipeline must expose BRIC stats"
   | Some st -> check_bool "probes counted" true (st.Bric.br_probes > 0)
