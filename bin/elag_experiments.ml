@@ -3,17 +3,62 @@
 
      elag_experiments [-j N] [artifact]
        artifact: table2 | fig5a | fig5b | fig5c | table3 | table4 | all
-       -j N:     worker domains (default: Domain.recommended_domain_count) *)
+               | lint | faults | verify-smoke | verify
+       -j N:     worker domains (default: Domain.recommended_domain_count)
+
+   The verification artifacts run the robustness suites instead of the
+   paper tables: [lint] statically checks every compiled workload,
+   [faults] runs the curated predictor fault-injection matrix,
+   [verify-smoke] the CI subset of it plus lint, and [verify] all
+   three suites including the whole-suite differential oracle.  Each
+   prints per-item lines and exits 1 if anything fails. *)
 
 module Engine = Elag_engine.Engine
 module Experiments = Elag_engine.Experiments
+module Verification = Elag_engine.Verification
 module Pool = Elag_engine.Pool
+module Fault = Elag_verify.Fault
+module Lint = Elag_verify.Lint
+module Oracle = Elag_verify.Oracle
+module Diag = Elag_verify.Diag
 
 let usage () =
-  prerr_endline "usage: elag_experiments [-j N] [table2|fig5a|fig5b|fig5c|table3|table4|all]";
+  prerr_endline
+    "usage: elag_experiments [-j N] [table2|fig5a|fig5b|fig5c|table3|table4|all\
+     |lint|faults|verify-smoke|verify]";
   exit 1
 
+(* Each suite prints one line per item and returns whether it was
+   all-green, so [verify] can run everything before the exit code. *)
+let lint_suite engine =
+  let results = Verification.run_lint_suite engine in
+  List.iter
+    (fun (name, r) -> Fmt.pr "%-16s @[<v>%a@]@." name Lint.pp r)
+    results;
+  List.for_all (fun (_, r) -> Lint.ok r) results
+
+let fault_suite ?entries engine =
+  let results = Verification.run_fault_suite ?entries engine in
+  List.iter
+    (fun ((e : Verification.entry), o) ->
+      Fmt.pr "%-13s %a@." e.Verification.mechanism Fault.pp_outcome o)
+    results;
+  let ok = List.for_all (fun (_, o) -> Fault.outcome_ok o) results in
+  Fmt.pr "fault suite: %d plans, %s@." (List.length results)
+    (if ok then "all ok" else "FAILURES");
+  ok
+
+let oracle_suite engine =
+  let results = Verification.run_oracle_suite engine in
+  List.iter
+    (fun (name, r) -> Fmt.pr "%-16s @[<v>%a@]@." name Oracle.pp r)
+    results;
+  List.for_all (fun (_, r) -> Oracle.ok r) results
+
+let finish ok = if not ok then exit 1
+
 let () =
+  Diag.guard "elag_experiments" @@ fun () ->
   let jobs = ref (Pool.default_jobs ()) in
   let artifact = ref "all" in
   let rec parse = function
@@ -36,6 +81,19 @@ let () =
   | "table3" -> Experiments.print_table3 engine
   | "table4" -> Experiments.print_table4 engine
   | "all" -> Experiments.run_all engine
+  | "lint" -> finish (lint_suite engine)
+  | "faults" -> finish (fault_suite engine)
+  | "verify-smoke" ->
+    let lint_ok = lint_suite engine in
+    let fault_ok =
+      fault_suite ~entries:Verification.fault_smoke engine
+    in
+    finish (lint_ok && fault_ok)
+  | "verify" ->
+    let lint_ok = lint_suite engine in
+    let fault_ok = fault_suite engine in
+    let oracle_ok = oracle_suite engine in
+    finish (lint_ok && fault_ok && oracle_ok)
   | other ->
     prerr_endline ("unknown artifact: " ^ other);
     usage ()

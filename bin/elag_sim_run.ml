@@ -23,7 +23,18 @@
                          about:tracing or https://ui.perfetto.dev)
      --max-insns N       stop after N retired instructions; reports and
                          traces then cover that window (recommended when
-                         tracing: one event per instruction adds up) *)
+                         tracing: one event per instruction adds up)
+
+   Verification (single timed runs):
+
+     --oracle            run the differential oracle: the timing pipeline
+                         and a reference emulator consume the retire
+                         stream in lockstep and every (pc, insn, address,
+                         branch) event must agree; exit 1 on divergence
+
+   Timed runs lint the compiled program first (wild control targets,
+   illegal registers, ld_e binding rules, data bounds) and exit 2 with
+   a one-line diagnostic when the artifact is malformed. *)
 
 module Compile = Elag_harness.Compile
 module Pipeline = Elag_sim.Pipeline
@@ -37,10 +48,13 @@ module Trace = Elag_telemetry.Trace
 module Insn = Elag_isa.Insn
 module Engine = Elag_engine.Engine
 module Pool = Elag_engine.Pool
+module Lint = Elag_verify.Lint
+module Oracle = Elag_verify.Oracle
+module Diag = Elag_verify.Diag
 
 let usage () =
   prerr_endline
-    "usage: elag_sim_run [--all] [workload [mechanism]] [-j N] [--report json|csv] [--trace FILE] [--max-insns N]";
+    "usage: elag_sim_run [--all] [workload [mechanism]] [-j N] [--report json|csv] [--trace FILE] [--max-insns N] [--oracle]";
   exit 1
 
 (* Unknown-name errors print the full vocabulary instead of dying with
@@ -148,8 +162,18 @@ let print_text_summary (w : Workload.t) mech (stats : Pipeline.stats) t output =
   Printf.printf "  output=%s\n"
     (String.concat "," (String.split_on_char '\n' (String.trim output)))
 
+let oracle_one (w : Workload.t) mech ~max_insns =
+  let program = Compile.compile w.Workload.source in
+  Lint.enforce program;
+  let cfg = Config.with_mechanism mech Config.default in
+  let r = Oracle.run ?max_insns cfg program in
+  Fmt.pr "%s under %s: @[<v>%a@]@." w.Workload.name
+    (Config.mechanism_name mech) Oracle.pp r;
+  if not (Oracle.ok r) then exit 1
+
 let time_one (w : Workload.t) mech ~report ~trace_file ~max_insns =
   let program = Compile.compile w.Workload.source in
+  Lint.enforce program;
   let cfg = Config.with_mechanism mech Config.default in
   let t = Pipeline.create cfg in
   let tr = Option.map (fun _ -> install_trace t) trace_file in
@@ -174,11 +198,13 @@ let time_one (w : Workload.t) mech ~report ~trace_file ~max_insns =
   | None -> print_text_summary w mech stats t output
 
 let () =
+  Diag.guard "elag_sim_run" @@ fun () ->
   let report = ref None
   and trace_file = ref None
   and max_insns = ref None
   and jobs = ref (Pool.default_jobs ())
   and all = ref false
+  and oracle = ref false
   and positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -202,6 +228,9 @@ let () =
     | "--all" :: rest ->
       all := true;
       parse rest
+    | "--oracle" :: rest ->
+      oracle := true;
+      parse rest
     | ("--report" | "--trace" | "--max-insns" | "-j") :: [] -> usage ()
     | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" -> usage ()
     | arg :: rest ->
@@ -209,12 +238,17 @@ let () =
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  match (!all, List.rev !positional, !report, !trace_file) with
-  | true, [], None, None -> emulate_all ~jobs:!jobs
-  | true, [ mech ], None, None -> time_all ~jobs:!jobs (mechanism_of_string mech)
-  | false, [], None, None -> emulate_all ~jobs:!jobs
-  | false, [ name ], None, None -> emulate_one (find_workload name) |> print_endline
-  | false, [ name; mech ], report, trace_file ->
+  match (!all, !oracle, List.rev !positional, !report, !trace_file) with
+  | true, false, [], None, None -> emulate_all ~jobs:!jobs
+  | true, false, [ mech ], None, None ->
+    time_all ~jobs:!jobs (mechanism_of_string mech)
+  | false, false, [], None, None -> emulate_all ~jobs:!jobs
+  | false, false, [ name ], None, None ->
+    emulate_one (find_workload name) |> print_endline
+  | false, true, [ name; mech ], None, None ->
+    oracle_one (find_workload name) (mechanism_of_string mech)
+      ~max_insns:!max_insns
+  | false, false, [ name; mech ], report, trace_file ->
     time_one (find_workload name) (mechanism_of_string mech) ~report ~trace_file
       ~max_insns:!max_insns
   | _ -> usage ()

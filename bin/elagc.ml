@@ -9,6 +9,7 @@
      elagc -emit-ir prog.mc        print the optimized IR
      elagc -emit-asm prog.mc       print the assembled program
      elagc -run prog.mc            execute and print program output
+     elagc -lint prog.mc           static EPA-32 verification of the artifact
      elagc -time dual-cc prog.mc   cycle-accurate timing under a mechanism
      elagc -O0|-O1|-O2             optimization level (default -O2)
      elagc -no-classify            leave every load ld_n
@@ -20,15 +21,17 @@ module Program = Elag_isa.Program
 module Insn = Elag_isa.Insn
 module Opt = Elag_opt.Driver
 module Config = Elag_sim.Config
+module Lint = Elag_verify.Lint
+module Diag = Elag_verify.Diag
 module Pipeline = Elag_sim.Pipeline
 module Emulator = Elag_sim.Emulator
 
-type action = Summarize | Emit_ir | Emit_asm | Run | Time of string | Profile_run
+type action = Summarize | Emit_ir | Emit_asm | Run | Lint | Time of string | Profile_run
 
 let usage () =
   prerr_endline
     "usage: elagc [-O0|-O1|-O2] [-no-classify] \
-     [-emit-ir|-emit-asm|-run|-time MECH|-profile] FILE.mc";
+     [-emit-ir|-emit-asm|-run|-lint|-time MECH|-profile] FILE.mc";
   prerr_endline
     "  mechanisms: baseline, table-N, table-N-cc, calc-N, dual-hw, dual-cc";
   exit 1
@@ -89,6 +92,7 @@ let () =
     | "-emit-ir" :: rest -> action := Emit_ir; parse rest
     | "-emit-asm" :: rest -> action := Emit_asm; parse rest
     | "-run" :: rest -> action := Run; parse rest
+    | ("-lint" | "--lint") :: rest -> action := Lint; parse rest
     | "-time" :: mech :: rest -> action := Time mech; parse rest
     | "-profile" :: rest -> action := Profile_run; parse rest
     | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
@@ -110,6 +114,7 @@ let () =
     ; classification = (if !classify then Compile.Heuristics else Compile.No_classification)
     ; inline_threshold = Elag_opt.Inline.default_threshold }
   in
+  Diag.guard "elagc" @@ fun () ->
   try
     match !action with
     | Summarize -> summarize (Compile.compile ~options source)
@@ -119,6 +124,10 @@ let () =
       let emu = Emulator.run_program (Compile.compile ~options source) in
       print_string (Emulator.output emu);
       Fmt.pr "[%d instructions retired]@." (Emulator.retired emu)
+    | Lint ->
+      let report = Lint.check (Compile.compile ~options source) in
+      Fmt.pr "@[<v>%a@]@." Lint.pp report;
+      if not (Lint.ok report) then exit 1
     | Time mech ->
       let program = Compile.compile ~options source in
       let cfg = Config.with_mechanism (mechanism_of_string mech) Config.default in

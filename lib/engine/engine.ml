@@ -28,9 +28,16 @@ let create ?jobs ?(config = Config.default) () =
 let jobs t = t.jobs
 let base_config t = t.base_config
 
+(* Every artifact the engine hands out has passed the static lint:
+   a malformed compilation result is rejected here, before it can burn
+   a simulation slot or simulate with meaningless timing. *)
+let lint_checked program =
+  Elag_verify.Lint.enforce program;
+  program
+
 let program t (w : Workload.t) =
   Cache.find_or_compute t.programs w.Workload.name (fun () ->
-      Compile.compile w.Workload.source)
+      lint_checked (Compile.compile w.Workload.source))
 
 let profile t (w : Workload.t) =
   Cache.find_or_compute t.profiles w.Workload.name (fun () ->
@@ -38,7 +45,7 @@ let profile t (w : Workload.t) =
 
 let reclassified t (w : Workload.t) =
   Cache.find_or_compute t.reclassifieds w.Workload.name (fun () ->
-      Profile.reclassify (profile t w) (program t w))
+      lint_checked (Profile.reclassify (profile t w) (program t w)))
 
 let program_of t w = function
   | Classified -> program t w

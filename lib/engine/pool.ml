@@ -1,34 +1,65 @@
+exception Failures of (int * string) list
+
+let () =
+  Printexc.register_printer (function
+    | Failures fs ->
+      Some
+        (Printf.sprintf "Pool.Failures: %d jobs failed: %s" (List.length fs)
+           (String.concat "; "
+              (List.map (fun (i, m) -> Printf.sprintf "[%d] %s" i m) fs)))
+    | _ -> None)
+
 let default_jobs () = Domain.recommended_domain_count ()
 
 let run ~jobs f (items : 'a array) : 'b array =
   let n = Array.length items in
   let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then Array.map f items
+  let results : ('b, exn * Printexc.raw_backtrace) result option array =
+    Array.make n None
+  in
+  let exec i =
+    results.(i) <-
+      Some
+        (try Ok (f items.(i))
+         with e -> Error (e, Printexc.get_raw_backtrace ()))
+  in
+  if jobs <= 1 then
+    (* Same failure semantics as the parallel path: every job runs and
+       every failure is collected, even after an early one. *)
+    for i = 0 to n - 1 do
+      exec i
+    done
   else begin
-    let results : ('b, exn * Printexc.raw_backtrace) result option array =
-      Array.make n None
-    in
     let next = Atomic.make 0 in
     let rec worker () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        let r =
-          try Ok (f items.(i))
-          with e -> Error (e, Printexc.get_raw_backtrace ())
-        in
-        results.(i) <- Some r;
+        exec i;
         worker ()
       end
     in
     let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
-    Array.iter Domain.join domains;
+    Array.iter Domain.join domains
+  end;
+  let failures = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (Error eb) -> failures := (i, eb) :: !failures
+      | Some (Ok _) -> ()
+      | None -> assert false (* every index was claimed exactly once *))
+    results;
+  match List.rev !failures with
+  | [] ->
     Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
-        | None -> assert false (* every index was claimed exactly once *))
+      (function Some (Ok v) -> v | _ -> assert false (* no failures *))
       results
-  end
+  | [ (_, (e, bt)) ] ->
+    (* A lone failure keeps its identity (and backtrace) so callers'
+       specific handlers — Compile.Error, Lint.Rejected — still fire. *)
+    Printexc.raise_with_backtrace e bt
+  | many ->
+    raise (Failures (List.map (fun (i, (e, _)) -> (i, Printexc.to_string e)) many))
 
 let map_list ~jobs f items = Array.to_list (run ~jobs f (Array.of_list items))

@@ -38,7 +38,11 @@ let to_ir ?(options = default_options) source =
     with Sema.Error (msg, line) ->
       raise (Error (Printf.sprintf "type error at line %d: %s" line msg))
   in
-  let ir = Lower.lower_program typed in
+  let ir =
+    try Lower.lower_program typed
+    with Lower.Error { ctx; msg } ->
+      raise (Error (Printf.sprintf "lowering error in %s: %s" ctx msg))
+  in
   let ir =
     Opt_driver.optimize ~level:options.opt_level
       ~inline_threshold:options.inline_threshold ir

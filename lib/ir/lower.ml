@@ -13,6 +13,17 @@ module Structs = Elag_minic.Structs
 module Insn = Elag_isa.Insn
 module Layout = Elag_isa.Layout
 
+exception Error of { ctx : string; msg : string }
+(* Structured lowering failure: [ctx] says where (function and, when
+   the typed tree provides one, source line), [msg] says what. *)
+
+let () =
+  Printexc.register_printer (function
+    | Error { ctx; msg } -> Some (Fmt.str "Lower.Error (%s): %s" ctx msg)
+    | _ -> None)
+
+let err ~ctx msg = raise (Error { ctx; msg })
+
 type storage = Sreg of Ir.vreg | Sslot of int
 
 type ctx =
@@ -25,6 +36,13 @@ type ctx =
   ; mutable terminated : bool
   ; mutable break_labels : string list
   ; mutable continue_labels : string list }
+
+(* Source context for error reporting: the function being lowered and,
+   when a typed expression is at hand, its source line. *)
+let loc ?line ctx =
+  match line with
+  | Some l -> Fmt.str "function %s, line %d" ctx.f.Ir.name l
+  | None -> Fmt.str "function %s" ctx.f.Ir.name
 
 let emit ctx inst = if not ctx.terminated then ctx.cur_insts <- inst :: ctx.cur_insts
 
@@ -60,10 +78,12 @@ let emit_bin ctx op a b =
 
 (* Memory size/signedness for accessing a value of the given type.
    MiniC's char is unsigned. *)
-let access_of_ty = function
+let access_of_ty ~ctx:where = function
   | Ast.Tchar -> (Insn.Byte, Insn.Unsigned)
   | Ast.Tint | Ast.Tptr _ -> (Insn.Word, Insn.Signed)
-  | ty -> invalid_arg (Fmt.str "Lower.access_of_ty: %a" Ast.pp_ty ty)
+  | ty ->
+    err ~ctx:where
+      (Fmt.str "cannot access a value of type %a as a scalar" Ast.pp_ty ty)
 
 let size_of ctx ty = Structs.size_of ctx.structs ty
 
@@ -132,16 +152,20 @@ let rec lower_place ctx (e : Typed.expr) : place =
     | Some (Sslot s) ->
       let size, sign =
         match l.Typed.local_ty with
-        | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty -> access_of_ty ty
+        | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty ->
+          access_of_ty ~ctx:(loc ~line:e.Typed.line ctx) ty
         | _ -> (Insn.Word, Insn.Signed) (* aggregate; size unused for places *)
       in
       Pmem (slot_address ctx s, size, sign)
-    | None -> invalid_arg ("Lower: unknown local " ^ l.Typed.local_name)
+    | None ->
+      err ~ctx:(loc ~line:e.Typed.line ctx)
+        ("reference to local without storage: " ^ l.Typed.local_name)
   end
   | Typed.Var (Typed.Global (name, ty)) ->
     let size, sign =
       match ty with
-      | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty -> access_of_ty ty
+      | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty ->
+        access_of_ty ~ctx:(loc ~line:e.Typed.line ctx) ty
       | _ -> (Insn.Word, Insn.Signed)
     in
     Pmem (Ir.Abs_sym (name, 0), size, sign)
@@ -149,7 +173,8 @@ let rec lower_place ctx (e : Typed.expr) : place =
     let addr = lower_to_address ctx p 0 in
     let size, sign =
       match e.ty with
-      | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty -> access_of_ty ty
+      | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty ->
+        access_of_ty ~ctx:(loc ~line:e.Typed.line ctx) ty
       | _ -> (Insn.Word, Insn.Signed)
     in
     Pmem (addr, size, sign)
@@ -158,7 +183,8 @@ let rec lower_place ctx (e : Typed.expr) : place =
     let elem_size = size_of ctx elem_ty in
     let size, sign =
       match elem_ty with
-      | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty -> access_of_ty ty
+      | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty ->
+        access_of_ty ~ctx:(loc ~line:e.Typed.line ctx) ty
       | _ -> (Insn.Word, Insn.Signed)
     in
     let idx_op = lower_value ctx idx in
@@ -180,21 +206,28 @@ let rec lower_place ctx (e : Typed.expr) : place =
     let sname =
       match base.ty with
       | Ast.Tstruct s -> s
-      | _ -> invalid_arg "Lower: field access on non-struct"
+      | ty ->
+        err ~ctx:(loc ~line:e.Typed.line ctx)
+          (Fmt.str "field access on non-struct value of type %a" Ast.pp_ty ty)
     in
     let field = Structs.field ctx.structs ~struct_name:sname ~field_name:fname in
     let base_addr =
       match lower_place ctx base with
       | Pmem (addr, _, _) -> addr
-      | Preg _ -> invalid_arg "Lower: struct in register"
+      | Preg _ ->
+        err ~ctx:(loc ~line:e.Typed.line ctx)
+          "struct value has register storage; fields need memory"
     in
     let size, sign =
       match field.Structs.field_ty with
-      | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty -> access_of_ty ty
+      | (Ast.Tint | Ast.Tchar | Ast.Tptr _) as ty ->
+        access_of_ty ~ctx:(loc ~line:e.Typed.line ctx) ty
       | _ -> (Insn.Word, Insn.Signed)
     in
     Pmem (offset_address ctx base_addr field.Structs.offset, size, sign)
-  | _ -> invalid_arg "Lower: expression is not a place"
+  | _ ->
+    err ~ctx:(loc ~line:e.Typed.line ctx)
+      "expression is not assignable (not a place)"
 
 (* Lower a pointer-valued expression to an address with displacement
    [disp], avoiding a materialized add when possible. *)
@@ -204,12 +237,16 @@ and lower_to_address ctx (e : Typed.expr) disp : Ir.address =
     (* address of the array lvalue *)
     match lower_place ctx inner with
     | Pmem (addr, _, _) -> offset_address ctx addr disp
-    | Preg _ -> invalid_arg "Lower: array in register"
+    | Preg _ ->
+      err ~ctx:(loc ~line:e.Typed.line ctx)
+        "array value has register storage; decay needs memory"
   end
   | Typed.Addr_of inner -> begin
     match lower_place ctx inner with
     | Pmem (addr, _, _) -> offset_address ctx addr disp
-    | Preg _ -> invalid_arg "Lower: & of register place"
+    | Preg _ ->
+      err ~ctx:(loc ~line:e.Typed.line ctx)
+        "address taken of a register-resident value"
   end
   | Typed.Binop (Ast.Add, p, i) when is_pointer p.ty && is_intlike i.ty ->
     let elem = pointee_size ctx p.ty in
@@ -251,7 +288,9 @@ and is_intlike = function Ast.Tint | Ast.Tchar -> true | _ -> false
 
 and pointee_size ctx = function
   | Ast.Tptr t -> size_of ctx t
-  | _ -> invalid_arg "Lower.pointee_size"
+  | ty ->
+    err ~ctx:(loc ctx)
+      (Fmt.str "pointer arithmetic on non-pointer type %a" Ast.pp_ty ty)
 
 (* Read a place. *)
 and read_place ctx = function
@@ -418,10 +457,14 @@ let rec lower_stmt ctx (s : Typed.stmt) =
       (match Hashtbl.find_opt ctx.storage local.Typed.local_id with
       | Some (Sreg d) -> emit ctx (Ir.Mov (d, v))
       | Some (Sslot slot) ->
-        let size, sign = access_of_ty local.Typed.local_ty in
+        let size, sign =
+          access_of_ty ~ctx:(loc ~line:e.Typed.line ctx) local.Typed.local_ty
+        in
         ignore sign;
         emit ctx (Ir.Store { size; src = v; addr = slot_address ctx slot })
-      | None -> invalid_arg "Lower: undeclared local")
+      | None ->
+        err ~ctx:(loc ~line:e.Typed.line ctx)
+          ("initializer for local without storage: " ^ local.Typed.local_name))
   end
   | Typed.Sif (c, t, f) ->
     let then_l = fresh_label ctx "then" in
@@ -466,12 +509,12 @@ let rec lower_stmt ctx (s : Typed.stmt) =
   | Typed.Sbreak -> begin
     match ctx.break_labels with
     | l :: _ -> terminate ctx (Ir.Jmp l)
-    | [] -> invalid_arg "Lower: break outside loop"
+    | [] -> err ~ctx:(loc ctx) "break outside of any loop"
   end
   | Typed.Scontinue -> begin
     match ctx.continue_labels with
     | l :: _ -> terminate ctx (Ir.Jmp l)
-    | [] -> invalid_arg "Lower: continue outside loop"
+    | [] -> err ~ctx:(loc ctx) "continue outside of any loop"
   end
 
 (* --- functions and programs ------------------------------------------ *)
@@ -523,7 +566,7 @@ let lower_func structs (tf : Typed.func) : Ir.func =
       match Hashtbl.find_opt ctx.storage l.Typed.local_id with
       | Some (Sreg d) -> emit ctx (Ir.Mov (d, Ir.Reg pv))
       | Some (Sslot slot) ->
-        let size, _ = access_of_ty l.Typed.local_ty in
+        let size, _ = access_of_ty ~ctx:(loc ctx) l.Typed.local_ty in
         emit ctx (Ir.Store { size; src = Ir.Reg pv; addr = slot_address ctx slot })
       | None -> ())
     tf.Typed.params param_vregs;

@@ -7,6 +7,13 @@
     addressing ([Ir.Abs_sym]), which the acyclic classification
     heuristic later keys on. *)
 
+exception Error of { ctx : string; msg : string }
+(** Structured lowering failure: [ctx] locates the problem (the
+    function being lowered and, when the typed tree carries one, the
+    source line), [msg] describes it.  Replaces the bare
+    [Invalid_argument] escapes; {!Elag_harness.Compile} re-surfaces it
+    as a compile error. *)
+
 val lower_func : Elag_minic.Structs.t -> Elag_minic.Typed.func -> Ir.func
 
 val lower_program : Elag_minic.Typed.program -> Ir.program

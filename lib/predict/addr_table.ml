@@ -60,3 +60,14 @@ let update t pc ca =
 type stats = { st_probes : int; st_hits : int; st_correct : int }
 
 let stats t = { st_probes = t.probes; st_hits = t.hits; st_correct = t.correct }
+
+(* --- fault-injection hooks (lib/verify) ------------------------------ *)
+
+let slot t i =
+  if i < 0 || i >= Array.length t.slots then invalid_arg "Addr_table.slot";
+  let s = t.slots.(i) in
+  (s.tag, s.entry)
+
+let set_tag t i tag =
+  if i < 0 || i >= Array.length t.slots then invalid_arg "Addr_table.set_tag";
+  t.slots.(i).tag <- tag

@@ -26,3 +26,19 @@ val update : t -> int -> int -> bool
 type stats = { st_probes : int; st_hits : int; st_correct : int }
 
 val stats : t -> stats
+
+(** {2 Fault-injection hooks}
+
+    Direct slot access for {!Elag_verify.Fault}, which corrupts
+    \{tag, PA, ST, STC\} state mid-run to prove predictions are
+    timing-only hints.  Not used on the simulation fast path. *)
+
+val slot : t -> int -> int * Stride_entry.t
+(** [(tag, entry)] at a slot index ([tag = -1] when invalid); the
+    stride entry is the live mutable record.  Raises
+    [Invalid_argument] out of range. *)
+
+val set_tag : t -> int -> int -> unit
+(** Overwrite a slot's tag (e.g. [-1] to invalidate, or a bogus pc to
+    detach the entry from its load).  Raises [Invalid_argument] out of
+    range. *)

@@ -56,3 +56,12 @@ let hit_rate t =
 type stats = { br_probes : int; br_hits : int; br_evictions : int }
 
 let stats t = { br_probes = t.probes; br_hits = t.hits; br_evictions = t.evictions }
+
+(* --- fault-injection hooks (lib/verify) ------------------------------ *)
+
+let flush t = t.resident <- []
+
+let delay t ~until =
+  t.resident <- List.map (fun (reg, vf) -> (reg, max vf until)) t.resident
+
+let resident_count t = List.length t.resident

@@ -25,3 +25,14 @@ val stats : t -> stats
 (** Probe/hit/eviction totals, mirroring {!Elag_predict.Addr_table.stats}
     so the pipeline can surface every predictor structure uniformly. *)
 
+(** {2 Fault-injection hooks} *)
+
+val flush : t -> unit
+(** Drop every resident entry (models losing the whole cache). *)
+
+val delay : t -> until:int -> unit
+(** Push every resident entry's usable-from cycle to at least [until]
+    (models a coherence glitch: values present but not yet trusted). *)
+
+val resident_count : t -> int
+

@@ -53,3 +53,18 @@ let update t pc ~taken ~target =
   correct
 
 let misprediction_count t = t.mispredictions
+
+(* --- fault-injection hooks (lib/verify) ------------------------------ *)
+
+let size t = Array.length t.slots
+
+let slot_valid t i =
+  if i < 0 || i >= Array.length t.slots then invalid_arg "Btb.slot_valid";
+  t.slots.(i).tag >= 0
+
+let corrupt t ~slot:i ?target ?counter ?tag () =
+  if i < 0 || i >= Array.length t.slots then invalid_arg "Btb.corrupt";
+  let s = t.slots.(i) in
+  (match target with Some v -> s.target <- v | None -> ());
+  (match counter with Some v -> s.counter <- max 0 (min 3 v) | None -> ());
+  (match tag with Some v -> s.tag <- v | None -> ())

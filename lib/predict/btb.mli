@@ -18,3 +18,16 @@ val update : t -> int -> taken:bool -> target:int -> bool
     target when taken). *)
 
 val misprediction_count : t -> int
+
+(** {2 Fault-injection hooks} *)
+
+val size : t -> int
+
+val slot_valid : t -> int -> bool
+(** Whether a slot currently holds an allocated entry. *)
+
+val corrupt : t -> slot:int -> ?target:int -> ?counter:int -> ?tag:int -> unit -> unit
+(** Overwrite the given fields of a slot (counter clamped to 0..3).
+    Corrupting only [target] is the provably-adversarial fault: it can
+    turn correct taken-predictions wrong but never the reverse.
+    Raises [Invalid_argument] out of range. *)

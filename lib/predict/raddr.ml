@@ -37,3 +37,11 @@ let bind t ~cycle reg =
 
 let hit_rate t =
   if t.probes = 0 then 0. else float_of_int t.hits /. float_of_int t.probes
+
+(* --- fault-injection hooks (lib/verify) ------------------------------ *)
+
+let unbind t =
+  t.bound <- None;
+  t.valid_from <- 0
+
+let bound t = t.bound

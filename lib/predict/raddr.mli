@@ -21,3 +21,12 @@ val bind : t -> cycle:int -> int -> unit
 (** (Re)bind to a register; switching invalidates until [cycle + 1]. *)
 
 val hit_rate : t -> float
+
+(** {2 Fault-injection hooks} *)
+
+val unbind : t -> unit
+(** Drop the current binding (models losing R_addr state); the next
+    [ld_e] must rebind and pays the switch penalty. *)
+
+val bound : t -> int option
+(** The currently bound register, if any. *)

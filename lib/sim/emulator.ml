@@ -14,7 +14,7 @@ module Layout = Elag_isa.Layout
 exception Runaway of int
 (** Raised when the instruction budget is exhausted (runaway loop). *)
 
-exception Bad_jump of int
+exception Bad_jump of { pc : int; retired : int }
 
 type t =
   { program : Program.t
@@ -48,6 +48,8 @@ let output t = Buffer.contents t.output
 
 let retired t = t.retired
 
+let halted t = t.halted
+
 let effective_address regs = function
   | Insn.Base_offset (b, off) -> Array.unsafe_get regs b + off
   | Insn.Base_index (b, i) -> Array.unsafe_get regs b + Array.unsafe_get regs i
@@ -57,79 +59,94 @@ let default_max_insns = 400_000_000
 
 let no_observer : observer = fun _ _ _ _ _ -> ()
 
-let run ?(observer = no_observer) ?(max_insns = default_max_insns) t =
+(* Top-level (not a per-step closure) so stepping allocates nothing. *)
+let set regs r v = if r <> Reg.zero then Array.unsafe_set regs r v
+
+(* Execute exactly one instruction and report it to [observer].  The
+   single-step core shared by {!run} and the differential oracle's
+   lockstep reference emulator. *)
+let exec_one (observer : observer) t =
   let regs = t.regs in
   let mem = t.memory in
-  let code_len = Program.length t.program in
-  let set r v = if r <> Reg.zero then Array.unsafe_set regs r v in
+  let pc = t.pc in
+  if pc < 0 || pc >= Program.length t.program then
+    raise (Bad_jump { pc; retired = t.retired });
+  let insn = Program.insn t.program pc in
+  let next = pc + 1 in
+  let eff = ref 0 in
+  let taken = ref false in
+  let next_pc = ref next in
+  (match insn with
+  | Insn.Alu { op; dst; src1; src2 } ->
+    let a = Array.unsafe_get regs src1 in
+    let b = match src2 with Insn.R r -> Array.unsafe_get regs r | Insn.I n -> n in
+    set regs dst (Alu.eval op a b)
+  | Insn.Li { dst; imm } -> set regs dst (Alu.norm imm)
+  | Insn.Load { size; sign; dst; addr; _ } ->
+    let a = effective_address regs addr in
+    eff := a;
+    let v =
+      match (size, sign) with
+      | Insn.Byte, Insn.Unsigned -> Memory.read_byte_u mem a
+      | Insn.Byte, Insn.Signed -> Memory.read_byte_s mem a
+      | Insn.Half, Insn.Unsigned -> Memory.read_half_u mem a
+      | Insn.Half, Insn.Signed -> Memory.read_half_s mem a
+      | Insn.Word, _ -> Memory.read_word mem a
+    in
+    set regs dst v
+  | Insn.Store { size; src; addr } ->
+    let a = effective_address regs addr in
+    eff := a;
+    let v = Array.unsafe_get regs src in
+    (match size with
+    | Insn.Byte -> Memory.write_byte mem a v
+    | Insn.Half -> Memory.write_half mem a v
+    | Insn.Word -> Memory.write_word mem a v)
+  | Insn.Branch { cond; src1; src2; _ } ->
+    let a = Array.unsafe_get regs src1 in
+    let b = match src2 with Insn.R r -> Array.unsafe_get regs r | Insn.I n -> n in
+    if Alu.eval_cond cond a b then begin
+      taken := true;
+      next_pc := Program.target t.program pc
+    end
+  | Insn.Jump _ ->
+    taken := true;
+    next_pc := Program.target t.program pc
+  | Insn.Jal _ ->
+    set regs Reg.ra next;
+    taken := true;
+    next_pc := Program.target t.program pc
+  | Insn.Jalr r ->
+    let target = Array.unsafe_get regs r in
+    set regs Reg.ra next;
+    taken := true;
+    next_pc := target
+  | Insn.Jr r ->
+    taken := true;
+    next_pc := Array.unsafe_get regs r
+  | Insn.Syscall Insn.Print_int ->
+    Buffer.add_string t.output (string_of_int regs.(Reg.arg_first));
+    Buffer.add_char t.output '\n'
+  | Insn.Syscall Insn.Print_char ->
+    Buffer.add_char t.output (Char.chr (regs.(Reg.arg_first) land 0xff))
+  | Insn.Syscall Insn.Exit -> t.halted <- true
+  | Insn.Nop -> ()
+  | Insn.Halt -> t.halted <- true);
+  t.retired <- t.retired + 1;
+  observer pc insn !eff !taken !next_pc;
+  t.pc <- !next_pc
+
+let step ?(observer = no_observer) t =
+  if t.halted then false
+  else begin
+    exec_one observer t;
+    true
+  end
+
+let run ?(observer = no_observer) ?(max_insns = default_max_insns) t =
   while not t.halted do
     if t.retired >= max_insns then raise (Runaway t.retired);
-    let pc = t.pc in
-    if pc < 0 || pc >= code_len then raise (Bad_jump pc);
-    let insn = Program.insn t.program pc in
-    let next = pc + 1 in
-    let eff = ref 0 in
-    let taken = ref false in
-    let next_pc = ref next in
-    (match insn with
-    | Insn.Alu { op; dst; src1; src2 } ->
-      let a = Array.unsafe_get regs src1 in
-      let b = match src2 with Insn.R r -> Array.unsafe_get regs r | Insn.I n -> n in
-      set dst (Alu.eval op a b)
-    | Insn.Li { dst; imm } -> set dst (Alu.norm imm)
-    | Insn.Load { size; sign; dst; addr; _ } ->
-      let a = effective_address regs addr in
-      eff := a;
-      let v =
-        match (size, sign) with
-        | Insn.Byte, Insn.Unsigned -> Memory.read_byte_u mem a
-        | Insn.Byte, Insn.Signed -> Memory.read_byte_s mem a
-        | Insn.Half, Insn.Unsigned -> Memory.read_half_u mem a
-        | Insn.Half, Insn.Signed -> Memory.read_half_s mem a
-        | Insn.Word, _ -> Memory.read_word mem a
-      in
-      set dst v
-    | Insn.Store { size; src; addr } ->
-      let a = effective_address regs addr in
-      eff := a;
-      let v = Array.unsafe_get regs src in
-      (match size with
-      | Insn.Byte -> Memory.write_byte mem a v
-      | Insn.Half -> Memory.write_half mem a v
-      | Insn.Word -> Memory.write_word mem a v)
-    | Insn.Branch { cond; src1; src2; _ } ->
-      let a = Array.unsafe_get regs src1 in
-      let b = match src2 with Insn.R r -> Array.unsafe_get regs r | Insn.I n -> n in
-      if Alu.eval_cond cond a b then begin
-        taken := true;
-        next_pc := Program.target t.program pc
-      end
-    | Insn.Jump _ ->
-      taken := true;
-      next_pc := Program.target t.program pc
-    | Insn.Jal _ ->
-      set Reg.ra next;
-      taken := true;
-      next_pc := Program.target t.program pc
-    | Insn.Jalr r ->
-      let target = Array.unsafe_get regs r in
-      set Reg.ra next;
-      taken := true;
-      next_pc := target
-    | Insn.Jr r ->
-      taken := true;
-      next_pc := Array.unsafe_get regs r
-    | Insn.Syscall Insn.Print_int ->
-      Buffer.add_string t.output (string_of_int regs.(Reg.arg_first));
-      Buffer.add_char t.output '\n'
-    | Insn.Syscall Insn.Print_char ->
-      Buffer.add_char t.output (Char.chr (regs.(Reg.arg_first) land 0xff))
-    | Insn.Syscall Insn.Exit -> t.halted <- true
-    | Insn.Nop -> ()
-    | Insn.Halt -> t.halted <- true);
-    t.retired <- t.retired + 1;
-    observer pc insn !eff !taken !next_pc;
-    t.pc <- !next_pc
+    exec_one observer t
   done
 
 (* Convenience: assemble-run and return the printed output. *)

@@ -10,10 +10,12 @@
     where the workload runtime's allocator reads it. *)
 
 exception Runaway of int
-(** The instruction budget was exhausted (runaway loop). *)
+(** The instruction budget was exhausted (runaway loop); carries the
+    retired-instruction count. *)
 
-exception Bad_jump of int
-(** Control transferred outside the code segment. *)
+exception Bad_jump of { pc : int; retired : int }
+(** Control transferred outside the code segment, carrying the bad
+    [pc] and how many instructions had retired. *)
 
 type t
 
@@ -23,6 +25,12 @@ type observer = int -> Elag_isa.Insn.t -> int -> bool -> int -> unit
     memory operations, [taken] for control transfers. *)
 
 val create : ?memory_size:int -> Elag_isa.Program.t -> t
+
+val step : ?observer:observer -> t -> bool
+(** Retire exactly one instruction; [false] when already halted.  The
+    lockstep primitive behind {!Elag_verify.Oracle}: a reference
+    emulator is stepped once per subject retire and the two streams
+    compared event by event. *)
 
 val run : ?observer:observer -> ?max_insns:int -> t -> unit
 (** Run to [Halt]/[exit]; raises {!Runaway} past [max_insns]
@@ -38,3 +46,5 @@ val output : t -> string
 
 val retired : t -> int
 (** Dynamic instruction count. *)
+
+val halted : t -> bool

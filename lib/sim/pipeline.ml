@@ -603,6 +603,14 @@ let table_stats t = Option.map Addr_table.stats t.table
 
 let bric_stats t = Option.map Bric.stats t.bric
 
+(* --- fault-injection hooks (lib/verify) -------------------------------- *)
+
+let btb t = t.btb
+let addr_table t = t.table
+let bric t = t.bric
+let raddr t = t.raddr
+let current_cycle t = t.cur_cycle
+
 (* --- telemetry accessors ---------------------------------------------- *)
 
 let busy_cycles t = t.busy_cycles

@@ -75,6 +75,23 @@ val table_stats : t -> Elag_predict.Addr_table.stats option
 
 val bric_stats : t -> Elag_predict.Bric.stats option
 
+(** {2 Fault-injection hooks}
+
+    Direct access to the live predictor structures, so
+    {!Elag_verify.Fault} can corrupt them mid-run and prove the
+    timing-only-hint invariant: corrupted prediction state may cost
+    cycles but can never change architectural results.  [None] when
+    the configured mechanism does not instantiate the structure. *)
+
+val btb : t -> Elag_predict.Btb.t
+val addr_table : t -> Elag_predict.Addr_table.t option
+val bric : t -> Elag_predict.Bric.t option
+val raddr : t -> Elag_predict.Raddr.t option
+
+val current_cycle : t -> int
+(** The current issue cycle, for cycle-relative corruption (e.g.
+    {!Elag_predict.Bric.delay}). *)
+
 val busy_cycles : t -> int
 (** Distinct cycles in which at least one instruction issued. *)
 

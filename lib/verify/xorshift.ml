@@ -1,0 +1,27 @@
+(* xorshift64*-style PRNG folded into OCaml's positive int range.
+   Deterministic across runs and across [-j N] schedules: the state is
+   one immutable-seeded mutable int, never the global Random state. *)
+
+type t = { mutable s : int }
+
+(* Golden-ratio constant keeps a zero seed away from the all-zero
+   fixed point of the xorshift transition. *)
+let create seed =
+  let s = (seed lxor 0x9E3779B97F4A7C) land max_int in
+  { s = (if s = 0 then 0x2545F4914F6CDD else s) }
+
+let next t =
+  let x = t.s in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  let x = if x = 0 then 0x2545F4914F6CDD else x in
+  t.s <- x;
+  x
+
+let int t n =
+  if n <= 0 then invalid_arg "Xorshift.int";
+  next t mod n
+
+let bool t = next t land 1 = 1

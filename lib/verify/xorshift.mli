@@ -1,0 +1,21 @@
+(** Small deterministic PRNG (xorshift64*-style, folded to OCaml's
+    positive [int] range) for seeded fault plans.
+
+    Fault injection must be reproducible forever — the whole point of
+    the suite is that a plan that passes today pins the behaviour — so
+    nothing in {!Elag_verify} may touch [Random.self_init] or the
+    global [Random] state.  Every plan carries its own seed and draws
+    from its own generator. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; any seed (including 0) is usable. *)
+
+val next : t -> int
+(** Next raw positive value (uniform over [0, max_int]). *)
+
+val int : t -> int -> int
+(** [int t n] in [0, n); raises [Invalid_argument] when [n <= 0]. *)
+
+val bool : t -> bool

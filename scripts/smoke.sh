@@ -20,4 +20,7 @@ dune exec bin/elag_sim_run.exe -- "PGP Encode" baseline --report json
 echo "== engine: parallel sweep (-j 2) =="
 dune exec bin/elag_sim_run.exe -- --all -j 2
 
+echo "== verify: lint + fault-injection smoke =="
+dune exec bin/elag_experiments.exe -- verify-smoke
+
 echo "smoke: OK"

@@ -30,11 +30,33 @@ let test_pool_merges_in_order () =
     "empty input" []
     (Array.to_list (Pool.run ~jobs:4 (fun i -> i) [||]))
 
-let test_pool_propagates_first_failure () =
-  (* jobs 3 and 7 fail; the job-order rule says we must see 3's error *)
-  let f i = if i = 3 || i = 7 then failwith (string_of_int i) else i in
-  Alcotest.check_raises "lowest failing index wins" (Failure "3") (fun () ->
-      ignore (Pool.run ~jobs:4 f (Array.init 10 (fun i -> i))))
+let test_pool_propagates_single_failure () =
+  (* exactly one failing job: its own exception survives, so specific
+     handlers (Compile.Error etc.) still fire *)
+  let f i = if i = 3 then failwith (string_of_int i) else i in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "identity kept at jobs=%d" jobs)
+        (Failure "3")
+        (fun () -> ignore (Pool.run ~jobs f (Array.init 10 (fun i -> i)))))
+    [ 1; 4 ]
+
+let test_pool_aggregates_failures () =
+  (* several failing jobs: every one is reported, in index order, even
+     the ones after the first failure *)
+  let f i = if i mod 3 = 0 then failwith (string_of_int i) else i in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "all failures at jobs=%d" jobs)
+        (Pool.Failures
+           [ (0, "Failure(\"0\")")
+           ; (3, "Failure(\"3\")")
+           ; (6, "Failure(\"6\")")
+           ; (9, "Failure(\"9\")") ])
+        (fun () -> ignore (Pool.run ~jobs f (Array.init 10 (fun i -> i)))))
+    [ 1; 4 ]
 
 let test_pool_runs_all_domains () =
   (* every item processed exactly once even with more domains than items *)
@@ -122,7 +144,10 @@ let test_parallel_matches_serial () =
 
 let suite =
   [ Alcotest.test_case "pool: order" `Quick test_pool_merges_in_order
-  ; Alcotest.test_case "pool: first failure" `Quick test_pool_propagates_first_failure
+  ; Alcotest.test_case "pool: single failure keeps identity" `Quick
+      test_pool_propagates_single_failure
+  ; Alcotest.test_case "pool: failures aggregate" `Quick
+      test_pool_aggregates_failures
   ; Alcotest.test_case "pool: full coverage" `Quick test_pool_runs_all_domains
   ; Alcotest.test_case "cache: single flight" `Quick test_cache_single_flight
   ; Alcotest.test_case "engine: caching" `Quick test_engine_caches

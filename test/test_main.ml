@@ -12,5 +12,6 @@ let () =
     ; ("workloads", Test_workloads.suite)
     ; ("harness", Test_harness.suite)
     ; ("engine", Test_engine.suite)
+    ; ("verify", Test_verify.suite)
     ; ("telemetry", Test_telemetry.suite)
     ; ("properties", Test_properties.suite) ]

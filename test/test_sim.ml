@@ -152,6 +152,83 @@ let test_emulator_runaway_guard () =
        false
      with Emulator.Runaway _ -> true)
 
+(* Boundary behaviour of Memory.check: the last in-range access of
+   each width succeeds, one byte past the end faults, and negative
+   addresses fault rather than wrap. *)
+let test_memory_check_boundaries () =
+  let size = 4096 in
+  let m = Memory.create ~size () in
+  Memory.write_word m (size - 4) 0x0BADCAFE;
+  check "word at size-4" 0x0BADCAFE (Memory.read_word m (size - 4));
+  Memory.write_half m (size - 2) 0x1234;
+  check "half at size-2" 0x1234 (Memory.read_half_u m (size - 2));
+  Memory.write_byte m (size - 1) 0xAB;
+  check "byte at size-1" 0xAB (Memory.read_byte_u m (size - 1));
+  (* addr + n = size + 1: the first word start that overruns *)
+  Alcotest.check_raises "word ending at size+1" (Memory.Fault (size - 3))
+    (fun () -> ignore (Memory.read_word m (size - 3)));
+  Alcotest.check_raises "half ending at size+1" (Memory.Fault (size - 1))
+    (fun () -> ignore (Memory.read_half_u m (size - 1)));
+  Alcotest.check_raises "byte at size" (Memory.Fault size) (fun () ->
+      ignore (Memory.read_byte_u m size));
+  Alcotest.check_raises "negative byte" (Memory.Fault (-1)) (fun () ->
+      ignore (Memory.read_byte_u m (-1)));
+  Alcotest.check_raises "negative word write" (Memory.Fault (-4)) (fun () ->
+      Memory.write_word m (-4) 0)
+
+(* A computed jump to exactly code_len (one past the last instruction)
+   must raise Bad_jump carrying that pc and the retire count. *)
+let test_bad_jump_at_code_len () =
+  let p =
+    asm
+      [ Program.Insn (Insn.Li { dst = Reg.tmp_first; imm = 2 })
+      ; Program.Insn (Insn.Jr Reg.tmp_first) ]
+  in
+  check_bool "raises Bad_jump at code_len" true
+    (try
+       ignore (Emulator.run_program p);
+       false
+     with Emulator.Bad_jump { pc; retired } -> pc = 2 && retired = 2)
+
+(* Runaway fires at exactly max_insns — and a program that needs
+   exactly the budget does not trip it. *)
+let test_runaway_exact_budget () =
+  let spin = asm [ Program.Label "spin"; Program.Insn (Insn.Jump "spin") ] in
+  check_bool "payload is the budget" true
+    (try
+       ignore (Emulator.run_program ~max_insns:137 spin);
+       false
+     with Emulator.Runaway n -> n = 137);
+  let three =
+    asm
+      [ Program.Insn Insn.Nop; Program.Insn Insn.Nop; Program.Insn Insn.Halt ]
+  in
+  let emu = Emulator.run_program ~max_insns:3 three in
+  check "exact budget retires fully" 3 (Emulator.retired emu);
+  Alcotest.check_raises "one below the need" (Emulator.Runaway 2) (fun () ->
+      ignore (Emulator.run_program ~max_insns:2 three))
+
+(* The step API behind the differential oracle: one retire per call,
+   false once halted, observer sees the same stream as run. *)
+let test_emulator_step_lockstep () =
+  let p =
+    asm
+      [ Program.Insn (Insn.Li { dst = Reg.arg_first; imm = 7 })
+      ; Program.Insn (Insn.Syscall Insn.Print_int)
+      ; Program.Insn Insn.Halt ]
+  in
+  let a = Emulator.create p and b = Emulator.create p in
+  Emulator.run a;
+  let steps = ref 0 in
+  while Emulator.step b do
+    incr steps
+  done;
+  check "steps = retired" (Emulator.retired a) !steps;
+  check "retired agrees" (Emulator.retired a) (Emulator.retired b);
+  check_bool "halted" true (Emulator.halted b);
+  check_bool "step after halt" false (Emulator.step b);
+  Alcotest.(check string) "output agrees" (Emulator.output a) (Emulator.output b)
+
 let test_zero_register_immutable () =
   let p =
     asm
@@ -368,6 +445,8 @@ let suite_head =
   [ Alcotest.test_case "config: mechanism round-trip" `Quick test_mechanism_roundtrip
   ; Alcotest.test_case "memory: rw" `Quick test_memory_rw
   ; Alcotest.test_case "memory: faults" `Quick test_memory_fault
+  ; Alcotest.test_case "memory: check boundaries" `Quick
+      test_memory_check_boundaries
   ; Alcotest.test_case "cache: direct mapped" `Quick test_cache_direct_mapped
   ; Alcotest.test_case "cache: probe pure" `Quick test_cache_probe_pure
   ; Alcotest.test_case "cache: associativity" `Quick test_cache_associativity
@@ -376,6 +455,12 @@ let suite_head =
   ; Alcotest.test_case "emulator: memory/branches" `Quick test_emulator_memory_and_branches
   ; Alcotest.test_case "emulator: call/return" `Quick test_emulator_call_return
   ; Alcotest.test_case "emulator: runaway" `Quick test_emulator_runaway_guard
+  ; Alcotest.test_case "emulator: bad jump at code_len" `Quick
+      test_bad_jump_at_code_len
+  ; Alcotest.test_case "emulator: runaway exact budget" `Quick
+      test_runaway_exact_budget
+  ; Alcotest.test_case "emulator: step lockstep" `Quick
+      test_emulator_step_lockstep
   ; Alcotest.test_case "emulator: zero register" `Quick test_zero_register_immutable
   ; Alcotest.test_case "pipeline: load-use stall" `Quick test_load_use_stall_baseline
   ; Alcotest.test_case "pipeline: ld_e pointer leaves" `Quick test_ld_e_speeds_pointer_leaves
