@@ -3,7 +3,7 @@
 
      elag_experiments [-j N] [artifact]
        artifact: table2 | fig5a | fig5b | fig5c | table3 | table4 | all
-               | lint | faults | verify-smoke | verify
+               | lint | faults | verify-smoke | verify | fuzz
        -j N:     worker domains (default: Domain.recommended_domain_count)
 
    The verification artifacts run the robustness suites instead of the
@@ -11,7 +11,23 @@
    [faults] runs the curated predictor fault-injection matrix,
    [verify-smoke] the CI subset of it plus lint, and [verify] all
    three suites including the whole-suite differential oracle.  Each
-   prints per-item lines and exits 1 if anything fails. *)
+   prints per-item lines and exits 1 if anything fails.
+
+   [fuzz] runs a differential fuzzing campaign (random lint-clean
+   EPA-32 programs and random MiniC sources through every mechanism
+   preset under the oracle, with seeded fault plans layered on) on the
+   supervised pool and prints a deterministic JSON summary — byte-
+   identical at every -j.  Fuzz flags:
+
+     --seed S        master campaign seed (default 0)
+     --iters N       iteration count (default 100)
+     --budget-ms M   stop scheduling new work after M ms of wall clock
+     --timeout-ms M  per-iteration budget; hung iterations report
+                     Job_timeout instead of wedging a worker
+     --retries N     crash retries per iteration (timeouts never retry)
+     --corpus DIR    persist shrunk minimal repros under DIR
+     --mutation NAME plant a reference mutation (guarded test hook
+                     proving detection; see corpus docs) *)
 
 module Engine = Elag_engine.Engine
 module Experiments = Elag_engine.Experiments
@@ -21,11 +37,16 @@ module Fault = Elag_verify.Fault
 module Lint = Elag_verify.Lint
 module Oracle = Elag_verify.Oracle
 module Diag = Elag_verify.Diag
+module Campaign = Elag_fuzz.Campaign
+module Gen = Elag_fuzz.Gen
+module Json = Elag_telemetry.Json
 
 let usage () =
   prerr_endline
     "usage: elag_experiments [-j N] [table2|fig5a|fig5b|fig5c|table3|table4|all\
-     |lint|faults|verify-smoke|verify]";
+     |lint|faults|verify-smoke|verify|fuzz]\n\
+     fuzz flags: [--seed S] [--iters N] [--budget-ms M] [--timeout-ms M]\n\
+    \            [--retries N] [--corpus DIR] [--mutation NAME]";
   exit 1
 
 (* Each suite prints one line per item and returns whether it was
@@ -57,21 +78,74 @@ let oracle_suite engine =
 
 let finish ok = if not ok then exit 1
 
+(* The campaign summary is the artifact: deterministic JSON on stdout,
+   exit 1 on any finding or job failure so CI can gate on it. *)
+let fuzz_campaign ~jobs ~seed ~iters ~budget_ms ~timeout_ms ~retries
+    ~corpus_dir ~mutation =
+  (match mutation with
+  | Some m when not (List.mem m Gen.mutation_names) ->
+    Printf.eprintf "unknown mutation %s\nknown mutations: %s\n" m
+      (String.concat " " Gen.mutation_names);
+    usage ()
+  | _ -> ());
+  let config =
+    { Campaign.default with
+      seed
+    ; iters
+    ; mutation
+    ; timeout_ms
+    ; retries
+    ; corpus_dir }
+  in
+  let summary = Campaign.run ~jobs ?budget_ms config in
+  print_endline (Json.to_string ~pretty:true (Campaign.summary_json summary));
+  finish (Campaign.ok summary)
+
 let () =
   Diag.guard "elag_experiments" @@ fun () ->
   let jobs = ref (Pool.default_jobs ()) in
   let artifact = ref "all" in
+  let seed = ref 0
+  and iters = ref 100
+  and budget_ms = ref None
+  and timeout_ms = ref None
+  and retries = ref 0
+  and corpus_dir = ref None
+  and mutation = ref None in
+  let int_arg n = match int_of_string_opt n with
+    | Some n when n >= 0 -> n
+    | _ -> usage ()
+  in
+  let pos_arg n = match int_of_string_opt n with
+    | Some n when n > 0 -> n
+    | _ -> usage ()
+  in
   let rec parse = function
     | [] -> ()
     | "-j" :: n :: rest ->
       (jobs := match int_of_string_opt n with Some n when n > 0 -> n | _ -> usage ());
       parse rest
-    | [ "-j" ] -> usage ()
+    | "--seed" :: n :: rest -> seed := int_arg n; parse rest
+    | "--iters" :: n :: rest -> iters := int_arg n; parse rest
+    | "--budget-ms" :: n :: rest -> budget_ms := Some (pos_arg n); parse rest
+    | "--timeout-ms" :: n :: rest -> timeout_ms := Some (pos_arg n); parse rest
+    | "--retries" :: n :: rest -> retries := int_arg n; parse rest
+    | "--corpus" :: dir :: rest -> corpus_dir := Some dir; parse rest
+    | "--mutation" :: name :: rest -> mutation := Some name; parse rest
+    | [ ("-j" | "--seed" | "--iters" | "--budget-ms" | "--timeout-ms"
+        | "--retries" | "--corpus" | "--mutation") ] -> usage ()
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+      usage ()
     | arg :: rest ->
       artifact := arg;
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !artifact = "fuzz" then
+    fuzz_campaign ~jobs:!jobs ~seed:!seed ~iters:!iters ~budget_ms:!budget_ms
+      ~timeout_ms:!timeout_ms ~retries:!retries ~corpus_dir:!corpus_dir
+      ~mutation:!mutation
+  else begin
   let engine = Engine.create ~jobs:!jobs () in
   match !artifact with
   | "table2" -> Experiments.print_table2 engine
@@ -97,3 +171,4 @@ let () =
   | other ->
     prerr_endline ("unknown artifact: " ^ other);
     usage ()
+  end

@@ -1,0 +1,459 @@
+(* Differential fuzzing campaigns.
+
+   One iteration = one seeded program (EPA-32 typed construction, or
+   MiniC through the front-end every [minic_every]-th iteration) run
+   through every mechanism preset under the differential oracle, with
+   a seeded fault plan layered on some iterations.  Iterations are
+   pure functions of the per-iteration seed, so they fan out on the
+   supervised pool and the merged summary is byte-identical at every
+   [-j] setting; per-iteration seeds are drawn serially from the
+   master stream before the fan-out.
+
+   On a finding, the offending EPA program is shrunk against the
+   oracle's failure signature and the minimal repro is persisted to
+   the corpus (serially, after the pool drains — no parallel file
+   writes).  An iteration stops at its first finding: with a planted
+   mutation every mechanism diverges identically, and for real bugs
+   the per-mechanism re-runs of one suspect program belong in the
+   repro workflow, not the campaign loop. *)
+
+module Config = Elag_sim.Config
+module Oracle = Elag_verify.Oracle
+module Lint = Elag_verify.Lint
+module Fault = Elag_verify.Fault
+module Deadline = Elag_verify.Deadline
+module Xorshift = Elag_verify.Xorshift
+module Pool = Elag_engine.Pool
+module Json = Elag_telemetry.Json
+module Metrics = Elag_telemetry.Metrics
+
+type config =
+  { seed : int
+  ; iters : int
+  ; mechanisms : Config.mechanism list
+  ; gen_params : Gen.params
+  ; minic_every : int  (* every k-th iteration compiles MiniC; 0 = never *)
+  ; fault_every : int  (* every k-th iteration layers a fault plan; 0 = never *)
+  ; mutation : string option
+  ; timeout_ms : int option
+  ; retries : int
+  ; corpus_dir : string option }
+
+let default =
+  { seed = 0
+  ; iters = 100
+  ; mechanisms = Config.Mechanism.all
+  ; gen_params = Gen.default_params
+  ; minic_every = 5
+  ; fault_every = 3
+  ; mutation = None
+  ; timeout_ms = None
+  ; retries = 0
+  ; corpus_dir = None }
+
+type kind = Divergence | Fault_violation | Lint_reject | Crash
+
+let kind_to_string = function
+  | Divergence -> "divergence"
+  | Fault_violation -> "fault-violation"
+  | Lint_reject -> "lint-reject"
+  | Crash -> "crash"
+
+type finding =
+  { f_iter : int
+  ; f_seed : int
+  ; f_source : string  (* "epa" | "minic" *)
+  ; f_mechanism : string
+  ; f_kind : kind
+  ; f_detail : string
+  ; f_report : Json.t
+  ; f_listing : string
+  ; f_insns : int
+  ; f_shrunk : bool
+  ; f_fingerprint : string }
+
+(* per-iteration result carried back through the pool *)
+type iter_result =
+  { r_iter : int
+  ; r_seed : int
+  ; r_source : string
+  ; r_oracle_runs : int
+  ; r_fault_runs : int
+  ; r_findings : finding list }
+
+type summary =
+  { cfg : config
+  ; jobs : int
+  ; iterations : int
+  ; oracle_runs : int
+  ; fault_runs : int
+  ; findings : finding list
+  ; failures : (int * Pool.failure) list
+  ; saved : string list  (* corpus metadata paths written this run *) }
+
+(* Fault targets paired with a mechanism that actually owns the state
+   being corrupted (mirrors Verification.fault_matrix's mapping). *)
+let fault_targets =
+  [| (Fault.Table_scramble { slot = 3 }, "table-256-cc")
+   ; (Fault.Table_pa { slot = 5 }, "table-256-cc")
+   ; (Fault.Table_state { slot = 2 }, "dual-cc")
+   ; (Fault.Bric_flush, "calc-8")
+   ; (Fault.Bric_delay { cycles = 8 }, "calc-8")
+   ; (Fault.Raddr_unbind, "dual-cc")
+   ; (Fault.Btb_target { slot = 1 }, "baseline")
+   ; (Fault.Btb_scramble { slot = 1 }, "baseline") |]
+
+let mechanism_of_name name =
+  match Config.Mechanism.of_string name with
+  | Some m -> m
+  | None -> assert false (* static table above *)
+
+let finding ~iter ~seed ~source ~mechanism ~kind ~detail ~report ~listing
+    ~insns ~shrunk =
+  { f_iter = iter
+  ; f_seed = seed
+  ; f_source = source
+  ; f_mechanism = mechanism
+  ; f_kind = kind
+  ; f_detail = detail
+  ; f_report = report
+  ; f_listing = listing
+  ; f_insns = insns
+  ; f_shrunk = shrunk
+  ; f_fingerprint = Corpus.fingerprint ~listing ~mechanism ~detail }
+
+(* Shrink an EPA generator output against the failure signature: a
+   candidate reproduces iff it assembles, lints and yields the same
+   oracle signature under the same (mechanism, mutation). *)
+let shrink_epa ~cfg ~deadline ~mutation ~signature (g : Gen.t) =
+  let check items =
+    match Gen.reassemble g items with
+    | exception _ -> false
+    | program -> (
+      match Lint.check program with
+      | report when not (Lint.ok report) -> false
+      | _ -> (
+        let reference = Option.map (fun m -> Gen.apply_mutation m program) mutation in
+        match Oracle.run ~max_insns:g.Gen.budget ?reference ~deadline cfg program with
+        | report -> Oracle.signature report = Some signature
+        | exception (Deadline.Job_timeout _ as e) -> raise e
+        | exception _ -> false))
+  in
+  let items = Shrink.minimize ~check g.Gen.items in
+  let program = Gen.reassemble g items in
+  (Fmt.str "%a" Elag_isa.Program.pp program, Shrink.insn_count items)
+
+let run_iteration config deadline (iter, seed) =
+  let source =
+    if config.minic_every > 0 && (iter + 1) mod config.minic_every = 0 then
+      "minic"
+    else "epa"
+  in
+  let oracle_runs = ref 0 in
+  let fault_runs = ref 0 in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let finish () =
+    { r_iter = iter
+    ; r_seed = seed
+    ; r_source = source
+    ; r_oracle_runs = !oracle_runs
+    ; r_fault_runs = !fault_runs
+    ; r_findings = List.rev !findings }
+  in
+  let mk = finding ~iter ~seed ~source in
+  (* generate (compile) — a crash here is a finding, with the seed
+     preserved, not a dead worker *)
+  match
+    match source with
+    | "epa" ->
+      let g = Gen.program ~params:config.gen_params seed in
+      Ok (Some g, g.Gen.program, g.Gen.budget)
+    | _ ->
+      let program = Elag_harness.Compile.compile (Gen.minic seed) in
+      Ok (None, program, Gen.minic_budget)
+  with
+  | exception e ->
+    add
+      (mk ~mechanism:"-" ~kind:Crash
+         ~detail:(Printf.sprintf "generation: %s" (Printexc.to_string e))
+         ~report:Json.Null ~listing:"" ~insns:0 ~shrunk:false);
+    finish ()
+  | Error _ -> assert false
+  | Ok (g, program, budget) -> (
+    let listing () = Fmt.str "%a" Elag_isa.Program.pp program in
+    match Lint.check program with
+    | lint when not (Lint.ok lint) ->
+      add
+        (mk ~mechanism:"-" ~kind:Lint_reject
+           ~detail:
+             (Fmt.str "%a" Lint.pp_issue (List.hd lint.Lint.issues))
+           ~report:(Lint.to_json lint) ~listing:(listing ())
+           ~insns:(Elag_isa.Program.length program) ~shrunk:false);
+      finish ()
+    | _ -> (
+      (* differential oracle across every mechanism preset *)
+      let stop = ref false in
+      List.iter
+        (fun mechanism ->
+          if not !stop then begin
+            Deadline.check deadline;
+            let cfg = Config.with_mechanism mechanism Config.default in
+            let mech_name = Config.Mechanism.to_string mechanism in
+            incr oracle_runs;
+            match
+              Oracle.run ~max_insns:budget
+                ?reference:
+                  (Option.map
+                     (fun m -> Gen.apply_mutation m program)
+                     config.mutation)
+                ~deadline cfg program
+            with
+            | exception (Deadline.Job_timeout _ as e) -> raise e
+            | exception e ->
+              stop := true;
+              add
+                (mk ~mechanism:mech_name ~kind:Crash
+                   ~detail:(Printexc.to_string e) ~report:Json.Null
+                   ~listing:(listing ())
+                   ~insns:(Elag_isa.Program.length program) ~shrunk:false)
+            | report -> (
+              match Oracle.signature report with
+              | None -> ()
+              | Some signature ->
+                stop := true;
+                let listing, insns, shrunk =
+                  match g with
+                  | Some g -> (
+                    match
+                      shrink_epa ~cfg ~deadline ~mutation:config.mutation
+                        ~signature g
+                    with
+                    | l, n -> (l, n, true)
+                    | exception (Deadline.Job_timeout _ as e) -> raise e
+                    | exception _ ->
+                      ( Fmt.str "%a" Elag_isa.Program.pp program
+                      , Elag_isa.Program.length program
+                      , false ))
+                  | None ->
+                    ( listing ()
+                    , Elag_isa.Program.length program
+                    , false )
+                in
+                add
+                  (mk ~mechanism:mech_name ~kind:Divergence ~detail:signature
+                     ~report:(Oracle.to_json report) ~listing ~insns ~shrunk))
+          end)
+        config.mechanisms;
+      (* fault layer: seeded plan on clean EPA programs *)
+      if
+        (not !stop) && config.fault_every > 0
+        && (iter + 1) mod config.fault_every = 0
+        && source = "epa"
+      then begin
+        let frng = Xorshift.create (seed lxor 0xFA17) in
+        let target, mech_name =
+          fault_targets.(Xorshift.int frng (Array.length fault_targets))
+        in
+        let cfg =
+          Config.with_mechanism (mechanism_of_name mech_name) Config.default
+        in
+        match Fault.baseline ~max_insns:budget ~deadline cfg program with
+        | exception (Deadline.Job_timeout _ as e) -> raise e
+        | exception e ->
+          add
+            (mk ~mechanism:mech_name ~kind:Crash
+               ~detail:(Printf.sprintf "fault baseline: %s" (Printexc.to_string e))
+               ~report:Json.Null ~listing:(listing ())
+               ~insns:(Elag_isa.Program.length program) ~shrunk:false)
+        | base ->
+          let retired = max 1 base.Fault.base_retired in
+          let plan =
+            { Fault.name = Fmt.str "fuzz-%a" Fault.pp_target target
+            ; seed = Xorshift.next frng
+            ; first = 1 + Xorshift.int frng retired
+            ; period = Some (max 1 (retired / 5))
+            ; target }
+          in
+          incr fault_runs;
+          match Fault.run_plan ~max_insns:budget ~deadline ~baseline:base cfg program plan with
+          | exception (Deadline.Job_timeout _ as e) -> raise e
+          | exception e ->
+            add
+              (mk ~mechanism:mech_name ~kind:Crash
+                 ~detail:(Printf.sprintf "fault plan: %s" (Printexc.to_string e))
+                 ~report:Json.Null ~listing:(listing ())
+                 ~insns:(Elag_isa.Program.length program) ~shrunk:false)
+          | outcome ->
+            (* On arbitrary programs only the architectural invariants
+               are universal: corrupted hint state may legitimately
+               *help* timing on a program the plan wasn't curated for,
+               so cycles_ok is a curated-suite check, not a fuzz one. *)
+            if not (outcome.Fault.output_ok && outcome.Fault.stream_ok) then
+              add
+                (mk ~mechanism:mech_name ~kind:Fault_violation
+                   ~detail:
+                     (Printf.sprintf "%s: output_ok=%b stream_ok=%b"
+                        plan.Fault.name outcome.Fault.output_ok
+                        outcome.Fault.stream_ok)
+                   ~report:(Fault.outcome_to_json outcome)
+                   ~listing:(listing ())
+                   ~insns:(Elag_isa.Program.length program) ~shrunk:false)
+      end;
+      finish ()))
+
+let run ?(jobs = 1) ?budget_ms config =
+  if config.iters < 0 then invalid_arg "Campaign.run: negative iters";
+  if config.mechanisms = [] then invalid_arg "Campaign.run: no mechanisms";
+  (* per-iteration seeds drawn serially up front: the fan-out order
+     can never perturb the seed sequence *)
+  let master = Xorshift.create config.seed in
+  let seeds = Array.init config.iters (fun i -> (i, Xorshift.next master)) in
+  let started = Unix.gettimeofday () in
+  let batch_size = max 8 (4 * jobs) in
+  let results = ref [] in
+  let failures = ref [] in
+  let completed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !completed < config.iters do
+    let remaining = config.iters - !completed in
+    let n = min batch_size remaining in
+    let batch = Array.sub seeds !completed n in
+    let outcomes =
+      Pool.run_supervised ?timeout_ms:config.timeout_ms ~retries:config.retries
+        ~jobs
+        (fun deadline item -> run_iteration config deadline item)
+        batch
+    in
+    Array.iteri
+      (fun i outcome ->
+        let iter, _seed = batch.(i) in
+        match outcome with
+        | Ok r -> results := r :: !results
+        | Error f -> failures := (iter, f) :: !failures)
+      outcomes;
+    completed := !completed + n;
+    (match budget_ms with
+    | Some ms when (Unix.gettimeofday () -. started) *. 1000. >= float_of_int ms
+      ->
+      continue_ := false
+    | _ -> ())
+  done;
+  let results = List.rev !results in
+  let findings =
+    List.concat_map (fun r -> r.r_findings) results
+    |> List.sort (fun a b -> compare a.f_iter b.f_iter)
+  in
+  (* corpus writes happen here, serially, after the pool has drained *)
+  let saved =
+    match config.corpus_dir with
+    | None -> []
+    | Some dir ->
+      let seen = Hashtbl.create 16 in
+      List.filter_map
+        (fun f ->
+          if f.f_listing = "" || Hashtbl.mem seen f.f_fingerprint then None
+          else begin
+            Hashtbl.add seen f.f_fingerprint ();
+            let entry =
+              { Corpus.fingerprint = f.f_fingerprint
+              ; seed = f.f_seed
+              ; source = f.f_source
+              ; mechanism = f.f_mechanism
+              ; kind = kind_to_string f.f_kind
+              ; detail = f.f_detail
+              ; mutation = config.mutation
+              ; gen_params = Gen.params_to_json config.gen_params
+              ; insns = f.f_insns
+              ; listing = f.f_listing
+              ; report = f.f_report }
+            in
+            Some (Corpus.save ~dir entry)
+          end)
+        findings
+  in
+  { cfg = config
+  ; jobs
+  ; iterations = !completed
+  ; oracle_runs = List.fold_left (fun n r -> n + r.r_oracle_runs) 0 results
+  ; fault_runs = List.fold_left (fun n r -> n + r.r_fault_runs) 0 results
+  ; findings
+  ; failures = List.rev !failures
+  ; saved }
+
+let metrics summary =
+  let m = Metrics.create () in
+  let set name v = Metrics.set (Metrics.counter m name) v in
+  set "iterations" summary.iterations;
+  set "oracle_runs" summary.oracle_runs;
+  set "fault_runs" summary.fault_runs;
+  set "findings" (List.length summary.findings);
+  let count kind =
+    List.length (List.filter (fun f -> f.f_kind = kind) summary.findings)
+  in
+  set "divergences" (count Divergence);
+  set "fault_violations" (count Fault_violation);
+  set "lint_rejects" (count Lint_reject);
+  set "crashes" (count Crash);
+  set "job_failures"
+    (List.length
+       (List.filter
+          (fun (_, f) -> match f with Pool.Job_failed _ -> true | _ -> false)
+          summary.failures));
+  set "job_timeouts"
+    (List.length
+       (List.filter
+          (fun (_, f) -> match f with Pool.Job_timeout _ -> true | _ -> false)
+          summary.failures));
+  m
+
+let finding_to_json f =
+  Json.Obj
+    [ ("iter", Json.Int f.f_iter)
+    ; ("seed", Json.Int f.f_seed)
+    ; ("source", Json.String f.f_source)
+    ; ("mechanism", Json.String f.f_mechanism)
+    ; ("kind", Json.String (kind_to_string f.f_kind))
+    ; ("detail", Json.String f.f_detail)
+    ; ("insns", Json.Int f.f_insns)
+    ; ("shrunk", Json.Bool f.f_shrunk)
+    ; ("fingerprint", Json.String f.f_fingerprint) ]
+
+let summary_json summary =
+  let c = summary.cfg in
+  Json.Obj
+    [ ( "config"
+      , Json.Obj
+          [ ("seed", Json.Int c.seed)
+          ; ("iters", Json.Int c.iters)
+          ; ( "mechanisms"
+            , Json.List
+                (List.map
+                   (fun m -> Json.String (Config.Mechanism.to_string m))
+                   c.mechanisms) )
+          ; ("gen_params", Gen.params_to_json c.gen_params)
+          ; ("minic_every", Json.Int c.minic_every)
+          ; ("fault_every", Json.Int c.fault_every)
+          ; ( "mutation"
+            , match c.mutation with
+              | None -> Json.Null
+              | Some m -> Json.String m )
+          ; ( "timeout_ms"
+            , match c.timeout_ms with
+              | None -> Json.Null
+              | Some t -> Json.Int t )
+          ; ("retries", Json.Int c.retries) ] )
+    ; ("metrics", Metrics.to_json (metrics summary))
+    ; ("findings", Json.List (List.map finding_to_json summary.findings))
+    ; ( "failures"
+      , Json.List
+          (List.map
+             (fun (iter, f) ->
+               Json.Obj
+                 [ ("iter", Json.Int iter)
+                 ; ("failure", Json.String (Pool.failure_to_string f)) ])
+             summary.failures) )
+    ; ("corpus_saved", Json.List (List.map (fun p -> Json.String p) summary.saved))
+    ]
+
+let ok summary = summary.findings = [] && summary.failures = []

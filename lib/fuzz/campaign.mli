@@ -1,0 +1,77 @@
+(** Differential fuzzing campaign driver.
+
+    One iteration = one seeded program (EPA-32 typed construction, or
+    MiniC through the front-end every [minic_every]-th iteration)
+    linted and run through every configured mechanism preset under the
+    differential oracle, with a seeded fault plan layered on every
+    [fault_every]-th iteration.  Iterations are pure functions of
+    their seed and fan out on the supervised pool
+    ({!Elag_engine.Pool.run_supervised}), so the summary is
+    byte-identical at every jobs setting; hung iterations surface as
+    [Job_timeout] failures without disturbing the rest.
+
+    EPA findings are shrunk against the oracle's failure signature and
+    persisted to the corpus (deduplicated by fingerprint, written
+    serially after the pool drains). *)
+
+type config =
+  { seed : int
+  ; iters : int
+  ; mechanisms : Elag_sim.Config.mechanism list
+  ; gen_params : Gen.params
+  ; minic_every : int
+    (** every k-th iteration compiles a random MiniC source instead of
+        generating EPA-32 directly; 0 disables *)
+  ; fault_every : int
+    (** every k-th iteration layers a seeded fault plan; 0 disables *)
+  ; mutation : string option
+    (** planted reference mutation ({!Gen.mutation_names}) — the
+        guarded test hook proving the campaign catches real bugs *)
+  ; timeout_ms : int option  (** per-iteration wall-clock budget *)
+  ; retries : int  (** crash retries per iteration (timeouts never retry) *)
+  ; corpus_dir : string option  (** where minimal repros are persisted *) }
+
+val default : config
+(** seed 0, 100 iterations, all mechanisms, defaults for the rest. *)
+
+type kind = Divergence | Fault_violation | Lint_reject | Crash
+
+val kind_to_string : kind -> string
+
+type finding =
+  { f_iter : int
+  ; f_seed : int
+  ; f_source : string  (** ["epa"] or ["minic"] *)
+  ; f_mechanism : string
+  ; f_kind : kind
+  ; f_detail : string  (** oracle signature / invariant / exception *)
+  ; f_report : Elag_telemetry.Json.t
+  ; f_listing : string
+  ; f_insns : int
+  ; f_shrunk : bool
+  ; f_fingerprint : string }
+
+type summary =
+  { cfg : config
+  ; jobs : int
+  ; iterations : int  (** iterations actually run (budget may stop early) *)
+  ; oracle_runs : int
+  ; fault_runs : int
+  ; findings : finding list
+  ; failures : (int * Elag_engine.Pool.failure) list
+  ; saved : string list  (** corpus metadata paths written this run *) }
+
+val run : ?jobs:int -> ?budget_ms:int -> config -> summary
+(** Run the campaign.  [jobs] (default 1) sizes the worker pool;
+    [budget_ms] stops scheduling new batches once the wall-clock
+    budget is spent (completed iterations are never discarded).
+    Without [budget_ms] the summary is byte-identical at every [jobs]
+    setting. *)
+
+val ok : summary -> bool
+(** No findings and no job failures. *)
+
+val summary_json : summary -> Elag_telemetry.Json.t
+(** Deterministic summary (config echo, metric counters, findings,
+    failures, corpus paths); never includes [jobs] or wall-clock
+    values, so equal campaigns print byte-identical reports. *)

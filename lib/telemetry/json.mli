@@ -1,9 +1,11 @@
-(** Minimal JSON tree and serializer for telemetry reports.
+(** Minimal JSON tree, serializer and parser for telemetry artifacts.
 
-    Only what the emitters need: construction and deterministic
-    printing (objects keep insertion order, floats print with enough
-    precision to round-trip, strings are escaped per RFC 8259).  No
-    parser — reports are written, not read, by this repository. *)
+    Construction and deterministic printing (objects keep insertion
+    order, floats print with enough precision to round-trip, strings
+    are escaped per RFC 8259), plus a small recursive-descent parser:
+    fuzz-corpus entries are JSON metadata files that must be read back
+    to replay a repro from its seed, so reports are no longer a
+    write-only format. *)
 
 type t =
   | Null
@@ -21,3 +23,16 @@ val output : ?pretty:bool -> out_channel -> t -> unit
 
 val escape : string -> string
 (** The quoted, escaped form of a string literal. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a one-line message
+    with the byte offset.  Round-trips everything {!to_string} emits
+    (integers stay [Int]; numbers with a fraction or exponent, or too
+    wide for OCaml's [int], become [Float]). *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option

@@ -1,0 +1,54 @@
+(* Cooperative wall-clock deadlines.
+
+   A domain cannot be killed, so "cancelling" a hung job means the job
+   polls a deadline from its own hot path — for simulator work, the
+   same per-retired-instruction hook that enforces the instruction
+   budget.  [check] keeps that polling cheap: the clock is sampled only
+   once per [sample_every] calls, so a deadline check in an
+   every-instruction observer costs one increment and one compare on
+   the common path. *)
+
+exception Job_timeout of { timeout_ms : int }
+
+let () =
+  Printexc.register_printer (function
+    | Job_timeout { timeout_ms } ->
+      Some (Printf.sprintf "Deadline.Job_timeout: wall-clock budget of %d ms exhausted" timeout_ms)
+    | _ -> None)
+
+type t =
+  { limit : float  (* absolute epoch seconds; infinity = never *)
+  ; timeout_ms : int
+  ; mutable ticks : int }
+
+(* One clock sample per this many [check] calls.  Small enough that a
+   tight emulation loop (tens of millions of retires per second)
+   still notices an expired deadline within well under a millisecond. *)
+let sample_every = 1024
+
+let never = { limit = infinity; timeout_ms = 0; ticks = 0 }
+
+let start ~timeout_ms =
+  if timeout_ms <= 0 then invalid_arg "Deadline.start";
+  { limit = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.)
+  ; timeout_ms
+  ; ticks = 0 }
+
+let opt = function
+  | None -> never
+  | Some timeout_ms -> start ~timeout_ms
+
+let expired t =
+  t.limit < infinity && Unix.gettimeofday () > t.limit
+
+let check t =
+  if t.limit < infinity then begin
+    t.ticks <- t.ticks + 1;
+    if t.ticks >= sample_every then begin
+      t.ticks <- 0;
+      if Unix.gettimeofday () > t.limit then
+        raise (Job_timeout { timeout_ms = t.timeout_ms })
+    end
+  end
+
+let observer t : Elag_sim.Emulator.observer = fun _ _ _ _ _ -> check t

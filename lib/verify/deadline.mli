@@ -1,0 +1,41 @@
+(** Cooperative wall-clock deadlines for hang-proofing long runs.
+
+    OCaml domains cannot be killed, so a supervised worker pool cannot
+    forcibly cancel a hung job; instead every job polls a deadline from
+    its own hot path — for simulator jobs, the per-retired-instruction
+    hook that already enforces the instruction budget.  {!check}
+    amortizes the clock read (one sample per 1024 calls), so polling
+    once per retired instruction is effectively free.
+
+    A deadline that fires raises {!Job_timeout}, the diagnostic class
+    {!Diag} maps to a one-line exit-2 message and the supervised pool
+    ({!Elag_engine.Pool}) converts into a structured per-job result
+    instead of aborting the whole run. *)
+
+exception Job_timeout of { timeout_ms : int }
+
+type t
+
+val never : t
+(** A deadline that never fires; {!check} on it is a single branch. *)
+
+val start : timeout_ms:int -> t
+(** Deadline [timeout_ms] milliseconds of wall clock from now.  Raises
+    [Invalid_argument] when [timeout_ms <= 0]. *)
+
+val opt : int option -> t
+(** [opt (Some ms)] is [start ~timeout_ms:ms]; [opt None] is {!never} —
+    the shape CLI [--timeout-ms] plumbing wants. *)
+
+val check : t -> unit
+(** Cheap poll; raises {!Job_timeout} once the wall clock passes the
+    deadline (sampled every 1024 calls). *)
+
+val expired : t -> bool
+(** Unsampled immediate check, for supervisors that want to test
+    without raising. *)
+
+val observer : t -> Elag_sim.Emulator.observer
+(** An emulator observer that only polls the deadline — compose it
+    with (or call {!check} from) the run's real observer so a runaway
+    simulation trips the timeout from inside its instruction loop. *)

@@ -23,13 +23,25 @@ let describe = function
          (List.length r.Lint.issues)
          Fmt.(option Lint.pp_issue)
          (match r.Lint.issues with [] -> None | i :: _ -> Some i))
+  | Deadline.Job_timeout { timeout_ms } ->
+    Some
+      (Fmt.str
+         "job timeout: wall-clock budget of %d ms exhausted (raise \
+          --timeout-ms if the run is genuinely this long)"
+         timeout_ms)
   | _ -> None
 
-let guard prog f =
+(* The default failure action is process-level (print + exit 2), so
+   tests inject their own [fail] to assert the mapping without killing
+   the test runner. *)
+let exit_fail prog line =
+  Printf.eprintf "%s: %s\n%!" prog line;
+  exit 2
+
+let guard ?fail prog f =
+  let fail = Option.value fail ~default:(exit_fail prog) in
   try f ()
   with e -> (
     match describe e with
-    | Some line ->
-      Printf.eprintf "%s: %s\n%!" prog line;
-      exit 2
+    | Some line -> fail line
     | None -> raise e)

@@ -48,6 +48,33 @@ type plan =
   ; period : int option
   ; target : target }
 
+(* CLI names for targets: the pp form without brackets, with optional
+   ":N" parameters ("table-scramble:17", "bric-delay:8").  Parameters
+   default sensibly so `elag_sim_run --fault bric-flush` just works. *)
+let target_of_string s =
+  let name, param =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+      ( String.sub s 0 i
+      , int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let p default = Option.value param ~default in
+  match name with
+  | "table-scramble" -> Some (Table_scramble { slot = p 0 })
+  | "table-pa" -> Some (Table_pa { slot = p 0 })
+  | "table-state" -> Some (Table_state { slot = p 0 })
+  | "bric-flush" -> Some Bric_flush
+  | "bric-delay" -> Some (Bric_delay { cycles = p 8 })
+  | "raddr-unbind" -> Some Raddr_unbind
+  | "btb-target" -> Some (Btb_target { slot = p 0 })
+  | "btb-scramble" -> Some (Btb_scramble { slot = p 0 })
+  | _ -> None
+
+let target_names =
+  [ "table-scramble"; "table-pa"; "table-state"; "bric-flush"; "bric-delay"
+  ; "raddr-unbind"; "btb-target"; "btb-scramble" ]
+
 let pp_target ppf = function
   | Table_scramble { slot } -> Fmt.pf ppf "table-scramble[%d]" slot
   | Table_pa { slot } -> Fmt.pf ppf "table-pa[%d]" slot
@@ -179,12 +206,14 @@ type baseline =
   ; base_retired : int
   ; base_cycles : int }
 
-let baseline ?max_insns (cfg : Elag_sim.Config.t) program =
+let baseline ?max_insns ?(deadline = Deadline.never) (cfg : Elag_sim.Config.t)
+    program =
   let pipe = Pipeline.create cfg in
   let pipe_obs = Pipeline.observer pipe in
   let hash = ref stream_hash_init in
   let retired = ref 0 in
   let obs pc insn eff taken next_pc =
+    Deadline.check deadline;
     pipe_obs pc insn eff taken next_pc;
     hash := stream_hash_step !hash pc insn eff taken next_pc;
     incr retired
@@ -207,8 +236,9 @@ type outcome =
 
 let outcome_ok o = o.output_ok && o.stream_ok && o.cycles_ok
 
-let run_plan ?max_insns ~baseline:(base : baseline)
-    (cfg : Elag_sim.Config.t) program (plan : plan) =
+let run_plan ?max_insns ?(deadline = Deadline.never)
+    ~baseline:(base : baseline) (cfg : Elag_sim.Config.t) program (plan : plan)
+    =
   if plan.first < 0 then invalid_arg "Fault.run_plan: negative first";
   (match plan.period with
   | Some p when p <= 0 -> invalid_arg "Fault.run_plan: non-positive period"
@@ -221,6 +251,7 @@ let run_plan ?max_insns ~baseline:(base : baseline)
   let injections = ref 0 in
   let next_trigger = ref plan.first in
   let obs pc insn eff taken next_pc =
+    Deadline.check deadline;
     pipe_obs pc insn eff taken next_pc;
     hash := stream_hash_step !hash pc insn eff taken next_pc;
     incr retired;

@@ -46,6 +46,14 @@ type plan =
 
 val pp_target : target Fmt.t
 
+val target_of_string : string -> target option
+(** Parse a CLI target name — the {!pp_target} form without brackets,
+    with an optional [:N] parameter ("table-scramble:17",
+    "bric-delay:8"); parameters default to slot 0 / 8 delay cycles. *)
+
+val target_names : string list
+(** Every parseable target name, for usage text. *)
+
 (** {2 Retire-stream fingerprint} *)
 
 val stream_hash_init : int
@@ -62,9 +70,12 @@ type baseline =
   ; base_cycles : int }
 
 val baseline :
-  ?max_insns:int -> Elag_sim.Config.t -> Elag_isa.Program.t -> baseline
+  ?max_insns:int -> ?deadline:Deadline.t -> Elag_sim.Config.t ->
+  Elag_isa.Program.t -> baseline
 (** Fault-free run; shared across every plan on the same
-    (config, program) pair. *)
+    (config, program) pair.  [deadline] is polled once per retired
+    instruction, so a hung run raises {!Deadline.Job_timeout} instead
+    of blocking its worker forever. *)
 
 type outcome =
   { plan : plan
@@ -79,6 +90,7 @@ val outcome_ok : outcome -> bool
 
 val run_plan :
   ?max_insns:int ->
+  ?deadline:Deadline.t ->
   baseline:baseline ->
   Elag_sim.Config.t ->
   Elag_isa.Program.t ->

@@ -101,13 +101,15 @@ let observer t : Emulator.observer =
 
 let divergence t = t.div
 
-let run ?max_insns ?keep ?reference (cfg : Elag_sim.Config.t) program =
+let run ?max_insns ?keep ?reference ?(deadline = Deadline.never)
+    (cfg : Elag_sim.Config.t) program =
   let reference_prog = Option.value reference ~default:program in
   let oracle = create ?keep reference_prog in
   let pipe = Elag_sim.Pipeline.create cfg in
   let pipe_obs = Elag_sim.Pipeline.observer pipe in
   let oracle_obs = observer oracle in
   let obs pc insn eff taken next_pc =
+    Deadline.check deadline;
     pipe_obs pc insn eff taken next_pc;
     oracle_obs pc insn eff taken next_pc
   in
@@ -123,6 +125,46 @@ let run ?max_insns ?keep ?reference (cfg : Elag_sim.Config.t) program =
   ; reference_trailing =
       oracle.div = None && not (Emulator.halted oracle.reference)
   ; subject_cycles = (Elag_sim.Pipeline.stats pipe).cycles }
+
+(* --- failure signature ------------------------------------------------ *)
+
+(* A stable label for the failure *class*, independent of pcs, indices
+   and operand values.  The shrinker minimizes against it: a candidate
+   program only counts as "still failing" when it fails the same way,
+   so deleting instructions can never silently trade the original bug
+   for an unrelated one (e.g. an output mismatch for a halted-early
+   reference). *)
+
+let insn_kind = function
+  | Insn.Alu _ -> "alu"
+  | Insn.Li _ -> "li"
+  | Insn.Load _ -> "load"
+  | Insn.Store _ -> "store"
+  | Insn.Branch _ -> "branch"
+  | Insn.Jump _ -> "jump"
+  | Insn.Jal _ -> "jal"
+  | Insn.Jalr _ -> "jalr"
+  | Insn.Jr _ -> "jr"
+  | Insn.Syscall _ -> "syscall"
+  | Insn.Nop -> "nop"
+  | Insn.Halt -> "halt"
+
+let signature r =
+  match r.divergence with
+  | Some d ->
+    let ref_kind =
+      match d.div_reference with
+      | Some e -> insn_kind e.ev_insn
+      | None -> "halted"
+    in
+    Some
+      (Printf.sprintf "divergence:%s-vs-%s"
+         (insn_kind d.div_subject.ev_insn)
+         ref_kind)
+  | None ->
+    if not r.outputs_match then Some "output-mismatch"
+    else if r.reference_trailing then Some "reference-trailing"
+    else None
 
 (* --- rendering -------------------------------------------------------- *)
 

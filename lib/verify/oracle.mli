@@ -60,6 +60,7 @@ val run :
   ?max_insns:int ->
   ?keep:int ->
   ?reference:Elag_isa.Program.t ->
+  ?deadline:Deadline.t ->
   Elag_sim.Config.t ->
   Elag_isa.Program.t ->
   report
@@ -67,7 +68,17 @@ val run :
     configuration with the oracle attached, comparing against
     [reference] (default: the program itself — the self-check used by
     the engine's verification suite; tests pass a deliberately
-    different reference to prove divergences are caught). *)
+    different reference to prove divergences are caught).  [deadline]
+    is polled once per retired instruction (default: never expires),
+    so supervised fuzz jobs can be cancelled cooperatively. *)
+
+val signature : report -> string option
+(** [None] when the report is {!ok}; otherwise a stable label of the
+    failure class ("divergence:<subject-kind>-vs-<reference-kind>",
+    "output-mismatch" or "reference-trailing") that ignores pcs,
+    indices and operand values.  The fuzz shrinker minimizes a repro
+    against its signature, so deletion steps cannot silently swap the
+    original failure for a different one. *)
 
 val pp : report Fmt.t
 (** One line when green; the divergence site and recent context

@@ -4,11 +4,16 @@
 
 type t = { mutable s : int }
 
-(* Golden-ratio constant keeps a zero seed away from the all-zero
-   fixed point of the xorshift transition. *)
+(* The all-zero state is a fixed point of the xorshift transition, so
+   it must never be reachable: [create] XORs in the golden-ratio
+   constant and remaps any seed that still folds to zero (including a
+   seed equal to the constant itself), and [next] remaps the one
+   folded state that maps to zero. *)
+let nonzero = 0x2545F4914F6CDD
+
 let create seed =
   let s = (seed lxor 0x9E3779B97F4A7C) land max_int in
-  { s = (if s = 0 then 0x2545F4914F6CDD else s) }
+  { s = (if s = 0 then nonzero else s) }
 
 let next t =
   let x = t.s in
@@ -16,9 +21,19 @@ let next t =
   let x = x lxor (x lsr 7) in
   let x = x lxor (x lsl 17) in
   let x = x land max_int in
-  let x = if x = 0 then 0x2545F4914F6CDD else x in
+  let x = if x = 0 then nonzero else x in
   t.s <- x;
   x
+
+(* Derive an independent child stream: two parent draws are mixed into
+   the child's seed, so the child shares no state with the parent and
+   two successive splits share none with each other.  The parent
+   advances by exactly two draws, keeping campaign seed-derivation
+   schedules deterministic. *)
+let split t =
+  let a = next t in
+  let b = next t in
+  create (a lxor ((b * 0x1E3779B97F4A7C15) land max_int))
 
 let int t n =
   if n <= 0 then invalid_arg "Xorshift.int";

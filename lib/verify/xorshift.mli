@@ -1,11 +1,16 @@
 (** Small deterministic PRNG (xorshift64*-style, folded to OCaml's
-    positive [int] range) for seeded fault plans.
+    positive [int] range) for seeded fault plans and fuzzing streams.
 
-    Fault injection must be reproducible forever — the whole point of
-    the suite is that a plan that passes today pins the behaviour — so
-    nothing in {!Elag_verify} may touch [Random.self_init] or the
-    global [Random] state.  Every plan carries its own seed and draws
-    from its own generator. *)
+    Fault injection and fuzz campaigns must be reproducible forever —
+    the whole point of the suites is that a run that passes (or a
+    divergence that was caught) today pins the behaviour — so nothing
+    in {!Elag_verify} may touch [Random.self_init] or the global
+    [Random] state.  Every plan and every campaign carries its own seed
+    and draws from its own generator.
+
+    The all-zero state is a fixed point of the xorshift transition;
+    {!create} and {!next} both remap it, so every seed (including 0 and
+    the internal mixing constant) yields a productive stream. *)
 
 type t
 
@@ -14,6 +19,13 @@ val create : int -> t
 
 val next : t -> int
 (** Next raw positive value (uniform over [0, max_int]). *)
+
+val split : t -> t
+(** Derive an independent child generator from two parent draws, so a
+    campaign can hand the program generator, the fault planner and the
+    mechanism scheduler their own streams: drawing from one never
+    perturbs the others, which keeps per-iteration results independent
+    of evaluation order. *)
 
 val int : t -> int -> int
 (** [int t n] in [0, n); raises [Invalid_argument] when [n <= 0]. *)

@@ -23,4 +23,7 @@ dune exec bin/elag_sim_run.exe -- --all -j 2
 echo "== verify: lint + fault-injection smoke =="
 dune exec bin/elag_experiments.exe -- verify-smoke
 
+echo "== fuzz: bounded differential campaign (-j 2) =="
+dune exec bin/elag_experiments.exe -- fuzz --seed 42 --iters 25 -j 2
+
 echo "smoke: OK"

@@ -13,5 +13,6 @@ let () =
     ; ("harness", Test_harness.suite)
     ; ("engine", Test_engine.suite)
     ; ("verify", Test_verify.suite)
+    ; ("fuzz", Test_fuzz.suite)
     ; ("telemetry", Test_telemetry.suite)
     ; ("properties", Test_properties.suite) ]

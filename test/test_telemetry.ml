@@ -46,6 +46,47 @@ let test_json_printing () =
   check_str "control chars escaped" "\"\\u0001\""
     (Json.to_string (Json.String "\x01"))
 
+let test_json_parse_roundtrip () =
+  (* everything the serializer emits must read back structurally
+     identical — the fuzz corpus depends on it *)
+  let samples =
+    [ Json.Null
+    ; Json.Bool false
+    ; Json.Int (-123456789)
+    ; Json.Float 1.5
+    ; Json.String "he said \"hi\"\n\ttab \x01 done"
+    ; Json.List []
+    ; Json.Obj []
+    ; Json.Obj
+        [ ("seed", Json.Int 42)
+        ; ("detail", Json.String "divergence:load-vs-alu")
+        ; ("nested", Json.List [ Json.Obj [ ("x", Json.Float 0.25) ]; Json.Null ])
+        ]
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Json.to_string ~pretty:true v in
+      match Json.parse s with
+      | Ok v' -> check_bool ("roundtrip " ^ s) true (v = v')
+      | Error msg -> Alcotest.fail (s ^ ": " ^ msg))
+    samples;
+  (* accessors *)
+  (match Json.parse {|{"a": 1, "b": "two"}|} with
+  | Ok j ->
+    check "member int" 1
+      (Option.value ~default:0 (Option.bind (Json.member "a" j) Json.to_int));
+    check_str "member str" "two"
+      (Option.value ~default:"" (Option.bind (Json.member "b" j) Json.to_str))
+  | Error msg -> Alcotest.fail msg);
+  (* malformed inputs produce Error, never exceptions *)
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted malformed " ^ s))
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated" ]
+
 (* --- histogram ------------------------------------------------------------- *)
 
 let test_histogram_bucketing () =
@@ -267,6 +308,7 @@ let test_golden_report () =
 
 let suite =
   [ Alcotest.test_case "json: printing" `Quick test_json_printing
+  ; Alcotest.test_case "json: parse roundtrip" `Quick test_json_parse_roundtrip
   ; Alcotest.test_case "histogram: bucketing" `Quick test_histogram_bucketing
   ; Alcotest.test_case "histogram: percentiles" `Quick test_histogram_percentiles
   ; Alcotest.test_case "metrics: registry" `Quick test_metrics_registry

@@ -12,6 +12,7 @@ module Memory = Elag_sim.Memory
 module Emulator = Elag_sim.Emulator
 module Config = Elag_sim.Config
 module Xorshift = Elag_verify.Xorshift
+module Deadline = Elag_verify.Deadline
 module Oracle = Elag_verify.Oracle
 module Fault = Elag_verify.Fault
 module Lint = Elag_verify.Lint
@@ -66,6 +67,88 @@ let test_xorshift_bounds () =
   done;
   Alcotest.check_raises "n=0 rejected" (Invalid_argument "Xorshift.int")
     (fun () -> ignore (Xorshift.int t 0))
+
+let test_xorshift_zero_state_remapped () =
+  (* the all-zero internal state is a fixed point of the xorshift
+     transition; create must remap it, and the folded stream must
+     never collapse to a constant *)
+  let z = Xorshift.create 0 in
+  let draws = List.init 16 (fun _ -> Xorshift.next z) in
+  check_bool "seed 0 stream varies" true
+    (List.sort_uniq compare draws |> List.length > 8);
+  check_bool "seed 0 positive draws" true (List.for_all (fun v -> v >= 0) draws)
+
+let test_xorshift_split_independent () =
+  (* a child stream must be (a) deterministic and (b) unperturbed by
+     further draws from the parent, so campaign sub-streams never
+     depend on evaluation order *)
+  let p1 = Xorshift.create 42 in
+  let c1 = Xorshift.split p1 in
+  let child_draws = List.init 8 (fun _ -> Xorshift.next c1) in
+  let p2 = Xorshift.create 42 in
+  let c2 = Xorshift.split p2 in
+  for _ = 1 to 100 do
+    ignore (Xorshift.next p2)
+  done;
+  check_bool "child stream independent of parent draws" true
+    (child_draws = List.init 8 (fun _ -> Xorshift.next c2));
+  let parent = Xorshift.create 42 in
+  let child = Xorshift.split parent in
+  let differs = ref false in
+  for _ = 1 to 8 do
+    if Xorshift.next parent <> Xorshift.next child then differs := true
+  done;
+  check_bool "child stream differs from parent stream" true !differs
+
+(* --- deadline ------------------------------------------------------------- *)
+
+let test_deadline_never_and_opt () =
+  let d = Deadline.never in
+  for _ = 1 to 10_000 do
+    Deadline.check d
+  done;
+  check_bool "never expires" false (Deadline.expired Deadline.never);
+  (* opt None = never; opt (Some ms) = started budget *)
+  for _ = 1 to 10_000 do
+    Deadline.check (Deadline.opt None)
+  done;
+  Alcotest.check_raises "non-positive budget rejected"
+    (Invalid_argument "Deadline.start") (fun () ->
+      ignore (Deadline.start ~timeout_ms:0))
+
+let test_deadline_expires () =
+  let d = Deadline.start ~timeout_ms:5 in
+  Unix.sleepf 0.02;
+  let raised = ref None in
+  (try
+     (* the clock is sampled every 1024 checks, so spin well past one
+        sampling window *)
+     for _ = 1 to 100_000 do
+       Deadline.check d
+     done
+   with Deadline.Job_timeout { timeout_ms } -> raised := Some timeout_ms);
+  check "raises Job_timeout with its budget" 5
+    (Option.value !raised ~default:(-1))
+
+(* --- fault target parsing -------------------------------------------------- *)
+
+let test_fault_target_of_string () =
+  let t s = Fault.target_of_string s in
+  check_bool "table-scramble:17" true
+    (t "table-scramble:17" = Some (Fault.Table_scramble { slot = 17 }));
+  check_bool "table-pa default slot" true
+    (t "table-pa" = Some (Fault.Table_pa { slot = 0 }));
+  check_bool "bric-delay default cycles" true
+    (t "bric-delay" = Some (Fault.Bric_delay { cycles = 8 }));
+  check_bool "raddr-unbind" true (t "raddr-unbind" = Some Fault.Raddr_unbind);
+  check_bool "btb-target:3" true
+    (t "btb-target:3" = Some (Fault.Btb_target { slot = 3 }));
+  check_bool "unknown rejected" true (t "nonsense" = None);
+  (* every advertised name parses back *)
+  List.iter
+    (fun name ->
+      check_bool (name ^ " parses") true (Fault.target_of_string name <> None))
+    Fault.target_names
 
 (* --- oracle --------------------------------------------------------------- *)
 
@@ -254,9 +337,46 @@ let test_diag_describe () =
   check_bool "other exceptions pass through" true
     (Diag.describe (Failure "x") = None)
 
+(* One case per diagnostic class: the guard must map the exception to
+   a single-line message through the failure hook (the default hook
+   prints that line and exits 2 — the ?fail injection is how the
+   mapping is testable in-process). *)
+let test_diag_guard_classes () =
+  let lint_reject =
+    Lint.Rejected
+      { Lint.checked = 1
+      ; issues = [ { Lint.pc = Some 0; rule = "r"; detail = "d" } ] }
+  in
+  List.iter
+    (fun (name, exn) ->
+      let captured = ref None in
+      Diag.guard ~fail:(fun line -> captured := Some line) "test" (fun () ->
+          raise exn);
+      match !captured with
+      | None -> Alcotest.fail (name ^ ": guard did not intercept")
+      | Some line ->
+        check_bool (name ^ ": non-empty single line") true
+          (line <> "" && not (String.contains line '\n')))
+    [ ("runaway", Emulator.Runaway 400_000_000)
+    ; ("bad jump", Emulator.Bad_jump { pc = 7; retired = 41 })
+    ; ("memory fault", Memory.Fault 0x7FFF_FFFF)
+    ; ("lint rejection", lint_reject)
+    ; ("job timeout", Deadline.Job_timeout { timeout_ms = 250 }) ];
+  (* unrelated exceptions must keep their identity through the guard *)
+  Alcotest.check_raises "unknown exceptions re-raised" (Failure "x")
+    (fun () -> Diag.guard ~fail:(fun _ -> ()) "test" (fun () -> failwith "x"))
+
 let suite =
   [ Alcotest.test_case "xorshift: deterministic" `Quick test_xorshift_deterministic
   ; Alcotest.test_case "xorshift: bounds" `Quick test_xorshift_bounds
+  ; Alcotest.test_case "xorshift: zero state remapped" `Quick
+      test_xorshift_zero_state_remapped
+  ; Alcotest.test_case "xorshift: split independent" `Quick
+      test_xorshift_split_independent
+  ; Alcotest.test_case "deadline: never/opt" `Quick test_deadline_never_and_opt
+  ; Alcotest.test_case "deadline: expires" `Quick test_deadline_expires
+  ; Alcotest.test_case "fault: target parsing" `Quick
+      test_fault_target_of_string
   ; Alcotest.test_case "oracle: self agreement" `Quick test_oracle_self_agreement
   ; Alcotest.test_case "oracle: detects divergence" `Quick
       test_oracle_detects_divergence
@@ -276,4 +396,5 @@ let suite =
   ; Alcotest.test_case "lint: enforce raises" `Quick test_lint_enforce_raises
   ; Alcotest.test_case "lower: structured error" `Quick
       test_lower_error_structured
-  ; Alcotest.test_case "diag: describe" `Quick test_diag_describe ]
+  ; Alcotest.test_case "diag: describe" `Quick test_diag_describe
+  ; Alcotest.test_case "diag: guard per class" `Quick test_diag_guard_classes ]
